@@ -1,0 +1,86 @@
+"""Regenerates the three ablation studies (DESIGN.md experiment index).
+
+Run with ``pytest benchmarks/bench_ablations.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from repro.core import SchedulerConfig
+from repro.experiments import (
+    format_alpha_beta,
+    format_k_sweep,
+    format_xorr_depth,
+    sweep_alpha_beta,
+    sweep_k,
+    sweep_xorr_depth,
+)
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_xorr_depth(benchmark, results_sink):
+    """Sec. 4.1: FF savings grow with reduction-tree depth."""
+    points = run_once(
+        benchmark,
+        lambda: sweep_xorr_depth(element_counts=[16, 64, 128, 256]),
+    )
+    # once the additive schedule needs >1 stage, mapping starts saving FFs
+    deep = [p for p in points if p.tool_stages > 1]
+    assert deep, "sweep never exceeded one stage; enlarge element counts"
+    assert all(p.map_ffs <= p.tool_ffs for p in points)
+    assert any(p.map_ffs < p.tool_ffs for p in deep)
+    results_sink.append(format_xorr_depth(points))
+
+
+def test_ablation_alpha_beta(benchmark, results_sink):
+    """Eq. 15: weight sweep traces the LUT/FF frontier."""
+    points = run_once(
+        benchmark,
+        lambda: sweep_alpha_beta(
+            design="GFMUL", weights=[0.0, 0.5, 1.0],
+            base_config=SchedulerConfig(ii=1, tcp=10.0, time_limit=60),
+        ),
+    )
+    # pure-LUT weighting never uses more LUTs than pure-FF weighting
+    by_alpha = {p.alpha: p for p in points}
+    assert by_alpha[1.0].luts <= by_alpha[0.0].luts
+    assert by_alpha[0.0].ffs <= by_alpha[1.0].ffs
+    results_sink.append(format_alpha_beta(points, "GFMUL"))
+
+
+def test_ablation_k_sweep(benchmark, results_sink):
+    """Sec. 3.1: enumeration grows with K but stays fast for K <= 6."""
+    points = run_once(benchmark, lambda: sweep_k(
+        designs=["GFMUL", "CLZ", "MT"], ks=[2, 3, 4, 5, 6]))
+    for design in {p.design for p in points}:
+        mine = sorted((p.k, p.cuts) for p in points if p.design == design)
+        counts = [c for _, c in mine]
+        assert counts == sorted(counts), f"{design}: cuts not monotone in K"
+    assert all(p.seconds < 30.0 for p in points)
+    results_sink.append(format_k_sweep(points))
+
+
+def test_ablation_heuristic_gap(benchmark, results_sink):
+    """Extension: the scalable mapping-aware heuristic vs the exact MILP."""
+    from repro.experiments import format_heuristic_gap, sweep_heuristic_gap
+
+    points = run_once(
+        benchmark,
+        lambda: sweep_heuristic_gap(designs=["GFMUL", "MT", "GSM"]),
+    )
+    # the heuristic is drastically faster and never beats the exact MILP
+    for p in points:
+        assert p.heur_ffs >= p.milp_ffs
+    results_sink.append(format_heuristic_gap(points))
+
+
+def test_ablation_bitblast(benchmark, results_sink):
+    """Sec. 3.1: bit-level decomposition's cut blowup, measured."""
+    from repro.experiments import format_bitblast, sweep_bitblast
+
+    points = run_once(benchmark,
+                      lambda: sweep_bitblast(designs=["GFMUL", "MT", "GSM"]))
+    for p in points:
+        assert p.bit_ops > p.word_ops
+        assert p.bit_cuts > p.word_cuts
+    results_sink.append(format_bitblast(points))

@@ -1,0 +1,35 @@
+"""Regenerates Figure 1 (schedule walkthrough) and Figure 2 (cut
+enumeration walkthrough).
+
+Run with ``pytest benchmarks/bench_figures.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    format_figure1,
+    format_figure2,
+    run_figure1,
+    run_figure2,
+)
+
+from benchmarks.conftest import run_once
+
+
+def test_figure1(benchmark, results_sink):
+    result = run_once(benchmark, run_figure1)
+    tool = result.reports["hls-tool"]
+    mapped = result.reports["milp-map"]
+    # the paper's headline: fewer LUTs AND a single-stage pipeline
+    assert result.schedules["milp-map"].latency == 1
+    assert mapped.luts < tool.luts
+    benchmark.extra_info["tool_luts"] = tool.luts
+    benchmark.extra_info["map_luts"] = mapped.luts
+    results_sink.append(format_figure1(result))
+
+
+def test_figure2(benchmark, results_sink):
+    result = run_once(benchmark, run_figure2)
+    assert result.stats.total_selectable > 0
+    benchmark.extra_info["selectable_cuts"] = result.stats.total_selectable
+    results_sink.append(format_figure2(result))

@@ -1,0 +1,66 @@
+"""Regenerates Table 1: CP / LUT / FF for the three flows on all designs.
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s``.
+Each (design, method) pair is one benchmark case; the assembled table is
+printed at the end of the session in the paper's layout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import BENCHMARKS
+from repro.experiments import run_flow
+from repro.experiments.reporting import percent, render_table
+from repro.tech.device import XC7
+
+from benchmarks.conftest import paper_config, run_once
+
+_ROWS: dict[tuple[str, str], object] = {}
+_METHODS = ("hls-tool", "milp-base", "milp-map")
+
+
+@pytest.mark.parametrize("design", sorted(BENCHMARKS))
+@pytest.mark.parametrize("method", _METHODS)
+def test_table1_cell(benchmark, design, method):
+    spec = BENCHMARKS[design]
+    config = paper_config()
+
+    def work():
+        return run_flow(spec.build(), method, XC7, config, design=design)
+
+    flow = run_once(benchmark, work)
+    report = flow.report
+    benchmark.extra_info["cp_ns"] = round(report.cp, 2)
+    benchmark.extra_info["luts"] = report.luts
+    benchmark.extra_info["ffs"] = report.ffs
+    benchmark.extra_info["latency"] = report.latency
+    benchmark.extra_info["ii"] = report.ii
+    _ROWS[(design, method)] = report
+    assert report.cp <= config.tcp + 1e-6
+    assert report.ii >= config.ii
+
+
+def test_table1_print(benchmark, results_sink):
+    """Assemble and queue the Table 1 text (runs after all cells)."""
+    if len(_ROWS) < len(BENCHMARKS) * len(_METHODS):
+        pytest.skip("run the full bench_table1 module to print the table")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = ["Design", "Method", "CP(ns)", "LUT", "%", "FF", "%"]
+    rows = []
+    for design in sorted(BENCHMARKS):
+        base = _ROWS[(design, "hls-tool")]
+        for method in _METHODS:
+            r = _ROWS[(design, method)]
+            rows.append([
+                design if method == "hls-tool" else "",
+                method,
+                f"{r.cp:.2f}",
+                r.luts,
+                "" if method == "hls-tool" else percent(r.luts, base.luts),
+                r.ffs,
+                "" if method == "hls-tool" else percent(r.ffs, base.ffs),
+            ])
+    results_sink.append(render_table(
+        headers, rows, title="Table 1 (regenerated): resource usage comparison"
+    ))

@@ -1,0 +1,74 @@
+"""Regenerates Table 2: MILP solver runtime, MILP-base vs MILP-map.
+
+Run with ``pytest benchmarks/bench_table2.py --benchmark-only -s``.
+The timed quantity is the solver wall time alone (cut enumeration and model
+construction excluded, matching the paper's caption).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BaseScheduler, MapScheduler
+from repro.designs import BENCHMARKS
+from repro.experiments.reporting import render_table
+from repro.tech.device import XC7
+
+from benchmarks.conftest import paper_config, run_once
+
+_ROWS: dict[tuple[str, str], dict] = {}
+
+
+@pytest.mark.parametrize("design", sorted(BENCHMARKS))
+@pytest.mark.parametrize("variant", ["milp-base", "milp-map"])
+def test_table2_cell(benchmark, design, variant):
+    spec = BENCHMARKS[design]
+    config = paper_config()
+    cls = BaseScheduler if variant == "milp-base" else MapScheduler
+    scheduler = cls(spec.build(), XC7, config)
+    scheduler.enumerate()
+    horizon = scheduler._horizon()
+    formulation_holder = {}
+
+    def build_and_solve():
+        # timed portion: the solve itself dominates; construction is cheap
+        sched = scheduler._solve_with_horizon(horizon)
+        formulation_holder["f"] = scheduler.formulation
+        return sched
+
+    sched = run_once(benchmark, build_and_solve)
+    assert sched is not None
+    stats = formulation_holder["f"].stats
+    benchmark.extra_info["solver_seconds"] = round(sched.solve_seconds, 2)
+    benchmark.extra_info["constraints"] = stats.num_constraints
+    benchmark.extra_info["ops"] = scheduler.graph.num_operations
+    _ROWS[(design, variant)] = {
+        "seconds": sched.solve_seconds,
+        "constraints": stats.num_constraints,
+        "ops": scheduler.graph.num_operations,
+        "optimal": sched.optimal,
+    }
+
+
+def test_table2_print(benchmark, results_sink):
+    if len(_ROWS) < len(BENCHMARKS) * 2:
+        pytest.skip("run the full bench_table2 module to print the table")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = ["Design", "Ops", "MILP-base (s)", "MILP-map (s)",
+               "base cons", "map cons"]
+    rows = []
+    tot_b = tot_m = 0.0
+    for design in sorted(BENCHMARKS):
+        b = _ROWS[(design, "milp-base")]
+        m = _ROWS[(design, "milp-map")]
+        tot_b += b["seconds"]
+        tot_m += m["seconds"]
+        rows.append([design, b["ops"], f"{b['seconds']:.1f}",
+                     f"{m['seconds']:.1f}", b["constraints"],
+                     m["constraints"]])
+    n = len(BENCHMARKS)
+    rows.append(["Mean", "", f"{tot_b / n:.1f}", f"{tot_m / n:.1f}", "", ""])
+    results_sink.append(render_table(
+        headers, rows,
+        title="Table 2 (regenerated): MILP solver runtime",
+    ))

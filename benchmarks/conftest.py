@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every harness both *times* its workload (pytest-benchmark) and *prints* the
+regenerated table/figure, so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the paper's evaluation artifacts in one run. MILP solves are
+timed pedantically (one round): re-running a 60-second solver many times
+would add nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SchedulerConfig
+
+
+def paper_config(time_limit: float = 120.0) -> SchedulerConfig:
+    """The paper's operating point: Tcp=10 ns, II=1, alpha=beta=0.5."""
+    return SchedulerConfig(ii=1, tcp=10.0, alpha=0.5, beta=0.5,
+                           time_limit=time_limit)
+
+
+@pytest.fixture(scope="session")
+def results_sink():
+    """Collects formatted tables to echo at the end of the session."""
+    collected: list[str] = []
+    yield collected
+    if collected:
+        print("\n\n" + "\n\n".join(collected))
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (solver workloads are not re-runnable in a
+    tight loop) and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

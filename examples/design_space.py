@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the Eq. 15 knobs and the XORR depth study.
+
+Two sweeps from the ablation suite:
+
+* **alpha/beta** — trading LUTs against pipeline registers on GFMUL;
+* **XORR depth** — how register savings from mapping-aware pipelining grow
+  with reduction-tree depth (the Sec. 4.1 discussion, quantified).
+"""
+
+from repro.core import SchedulerConfig
+from repro.experiments import (
+    format_alpha_beta,
+    format_xorr_depth,
+    sweep_alpha_beta,
+    sweep_xorr_depth,
+)
+
+
+def main() -> None:
+    config = SchedulerConfig(ii=1, tcp=10.0, time_limit=60)
+
+    print("sweeping Eq. 15 weights on GFMUL (this runs five MILPs)...")
+    points = sweep_alpha_beta(design="GFMUL",
+                              weights=[0.0, 0.25, 0.5, 0.75, 1.0],
+                              base_config=config)
+    print(format_alpha_beta(points, "GFMUL"))
+    print()
+
+    print("sweeping XORR reduction-tree depth (tool vs MILP-map)...")
+    depth_points = sweep_xorr_depth(element_counts=[16, 64, 128, 256],
+                                    config=config)
+    print(format_xorr_depth(depth_points))
+    saved = [(p.elements, p.tool_ffs - p.map_ffs) for p in depth_points]
+    print("\nFF bits saved by mapping-awareness:",
+          ", ".join(f"{n} elems: {s}" for n, s in saved))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Interoperability tour: save/load designs, export the MILP, emit a
+self-checking testbench.
+
+Shows the artifacts a team would actually exchange:
+
+* the kernel as versioned JSON (design reviews, reproducers);
+* the exact MILP as a CPLEX ``.lp`` file (hand the paper's formulation to
+  CPLEX/Gurobi/SCIP unchanged);
+* the scheduled pipeline as Verilog plus a self-checking testbench whose
+  expectations come from the cycle-accurate simulator.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import MapScheduler, SchedulerConfig
+from repro.ir import compile_kernel, load_graph, save_graph
+from repro.milp import write_lp
+from repro.rtl import emit_testbench, emit_verilog, lint_verilog
+from repro.tech import XC7
+
+KERNEL = """
+input a : 8
+input b : 8
+reg acc : 8 init 17
+t = (a ^ b) >> 1
+u = mux(t >= 0x40, acc + t, acc ^ b)
+acc <= u
+output u : digest
+"""
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_export_"))
+    graph = compile_kernel(KERNEL, name="digest8", default_width=8)
+
+    # 1. design exchange
+    design_path = workdir / "digest8.json"
+    save_graph(graph, str(design_path))
+    reloaded = load_graph(str(design_path))
+    print(f"saved + reloaded design: {design_path} "
+          f"({reloaded.num_operations} ops)")
+
+    # 2. the exact MILP, solver-agnostic
+    scheduler = MapScheduler(reloaded, XC7,
+                             SchedulerConfig(ii=1, tcp=10.0, time_limit=60))
+    schedule = scheduler.schedule()
+    lp_path = workdir / "digest8.lp"
+    lp_path.write_text(write_lp(scheduler.formulation.model))
+    print(f"wrote MILP ({scheduler.formulation.model.num_constraints} "
+          f"constraints) to {lp_path}")
+
+    # 3. RTL + self-checking testbench
+    stream = [{"a": (37 * k) & 0xFF, "b": (91 * k + 5) & 0xFF}
+              for k in range(12)]
+    rtl = emit_verilog(schedule)
+    tb = emit_testbench(schedule, XC7, stream)
+    (workdir / "digest8.v").write_text(rtl)
+    (workdir / "digest8_tb.v").write_text(tb)
+    print(f"wrote RTL + testbench to {workdir} "
+          f"(lint: {'clean' if not lint_verilog(rtl) else 'PROBLEMS'})")
+    print("run externally with: iverilog -o sim digest8.v digest8_tb.v "
+          "&& vvp sim")
+    print()
+    print(schedule.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Command-line entry point: regenerate the paper's evaluation artifacts.
+
+Usage::
+
+    python -m repro table1 [DESIGN ...]
+    python -m repro table2 [DESIGN ...]
+    python -m repro figure1
+    python -m repro figure2
+    python -m repro ablations
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.config import SchedulerConfig
+from .designs.registry import BENCHMARKS
+
+
+def _config(args) -> SchedulerConfig:
+    return SchedulerConfig(ii=args.ii, tcp=args.tcp, alpha=args.alpha,
+                           beta=1.0 - args.alpha, time_limit=args.time_limit)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mapping-aware modulo scheduling (DAC'15) experiments",
+    )
+    parser.add_argument("command",
+                        choices=["table1", "table2", "figure1", "figure2",
+                                 "ablations", "list"])
+    parser.add_argument("designs", nargs="*",
+                        help="benchmark subset (default: all nine)")
+    parser.add_argument("--tcp", type=float, default=10.0,
+                        help="target clock period in ns (default 10)")
+    parser.add_argument("--ii", type=int, default=1,
+                        help="target initiation interval (default 1)")
+    parser.add_argument("--alpha", type=float, default=0.5,
+                        help="Eq. 15 LUT weight; FF weight is 1-alpha")
+    parser.add_argument("--time-limit", type=float, default=120.0,
+                        help="MILP solver cap in seconds (default 120)")
+    args = parser.parse_args(argv)
+
+    designs = [d.upper() for d in args.designs] or None
+
+    if args.command == "list":
+        for name, spec in BENCHMARKS.items():
+            print(f"{name:8s} {spec.kind:12s} {spec.domain:22s} "
+                  f"{spec.description}")
+        return 0
+
+    if args.command == "table1":
+        from .experiments import format_table1, run_table1
+
+        result = run_table1(designs=designs, config=_config(args),
+                            progress=lambda s: print(f"  running {s}...",
+                                                     file=sys.stderr))
+        print(format_table1(result))
+        return 0
+
+    if args.command == "table2":
+        from .experiments import format_table2, run_table2
+
+        result = run_table2(designs=designs, config=_config(args),
+                            progress=lambda s: print(f"  solving {s}...",
+                                                     file=sys.stderr))
+        print(format_table2(result))
+        return 0
+
+    if args.command == "figure1":
+        from .experiments import format_figure1, run_figure1
+
+        print(format_figure1(run_figure1()))
+        return 0
+
+    if args.command == "figure2":
+        from .experiments import format_figure2, run_figure2
+
+        print(format_figure2(run_figure2()))
+        return 0
+
+    if args.command == "ablations":
+        from .experiments import (
+            format_alpha_beta,
+            format_heuristic_gap,
+            format_k_sweep,
+            format_xorr_depth,
+            sweep_alpha_beta,
+            sweep_heuristic_gap,
+            sweep_k,
+            sweep_xorr_depth,
+        )
+
+        print(format_xorr_depth(sweep_xorr_depth(config=_config(args))))
+        print()
+        print(format_alpha_beta(
+            sweep_alpha_beta(base_config=_config(args)), "GFMUL"))
+        print()
+        print(format_k_sweep(sweep_k()))
+        print()
+        print(format_heuristic_gap(
+            sweep_heuristic_gap(config=_config(args))))
+        return 0
+
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

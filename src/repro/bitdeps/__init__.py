@@ -1,0 +1,22 @@
+"""Bit-level dependence tracking on the word-level DFG (paper Sec. 3.1).
+
+Exports the per-bit ``DEP`` function for every operation class and a
+:class:`SupportCalculator` that computes, for a node and a boundary set,
+which boundary *bits* each output bit transitively depends on. The cut
+enumerator uses these to decide K-feasibility at the word level.
+"""
+
+from .bitblast import BlastResult, bit_blast
+from .dep import DepEntry, dep_bits, word_dep_sources
+from .support import GLOBAL_BIT, SupportCalculator, popcount
+
+__all__ = [
+    "BlastResult",
+    "DepEntry",
+    "GLOBAL_BIT",
+    "SupportCalculator",
+    "bit_blast",
+    "dep_bits",
+    "popcount",
+    "word_dep_sources",
+]

@@ -1,0 +1,68 @@
+"""Configuration for the mapping-aware modulo scheduling MILP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+
+__all__ = ["SchedulerConfig"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the MILP formulation (Sec. 3.2 / Sec. 4).
+
+    Attributes
+    ----------
+    ii:
+        Target initiation interval (the paper pipelines everything to II=1).
+    tcp:
+        Target clock period, ns.
+    alpha / beta:
+        Eq. 15 trade-off weights for LUT vs register bits (paper: 0.5/0.5).
+    latency_bound:
+        Horizon ``M`` on pipeline cycles. ``None`` derives it from the
+        additive-delay heuristic schedule (always sufficient: mapping can
+        only shorten a schedule) plus ``latency_margin``.
+    latency_margin:
+        Extra cycles added to the derived horizon (resource conflicts can
+        push black boxes past the additive ASAP).
+    time_limit:
+        Solver wall-clock cap in seconds (the paper used 3600); best
+        incumbent is accepted, mirroring Sec. 4.
+    backend:
+        MILP backend: ``"scipy"`` (HiGHS) or ``"bnb"``.
+    max_cuts:
+        Merged-cut cap per node passed to the enumerator.
+    use_mapping:
+        True = MILP-map (full cut sets); False = MILP-base (unit cuts only,
+        i.e. "skipping the cut enumeration step", Sec. 4).
+    paper_objective:
+        True = cost every selected root ``Bits(v)`` LUTs exactly as Eq. 15;
+        False (default) = refined per-cut LUT costs (free wiring, operator
+        area; DESIGN.md note on Eq. 15).
+    mip_rel_gap:
+        Optional relative MIP gap passed to the solver.
+    """
+
+    ii: int = 1
+    tcp: float = 10.0
+    alpha: float = 0.5
+    beta: float = 0.5
+    latency_bound: int | None = None
+    latency_margin: int = 2
+    time_limit: float | None = 120.0
+    backend: str = "scipy"
+    max_cuts: int = 12
+    use_mapping: bool = True
+    paper_objective: bool = False
+    mip_rel_gap: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.ii < 1:
+            raise SchedulingError(f"II must be >= 1, got {self.ii}")
+        if self.tcp <= 0:
+            raise SchedulingError(f"Tcp must be positive, got {self.tcp}")
+        if self.alpha < 0 or self.beta < 0:
+            raise SchedulingError("alpha and beta must be non-negative")

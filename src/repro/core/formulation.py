@@ -1,0 +1,514 @@
+"""The mapping-aware modulo scheduling MILP (paper Sec. 3.2).
+
+Builds a :class:`repro.milp.Model` implementing Eq. 2–15 with the
+concretizations listed in DESIGN.md Sec. 4:
+
+* per-cut delays ``D_v = sum_i d_{v,i} c_{v,i}`` instead of static ``d_v``
+  (note 3);
+* big-M linearization of the cycle-time ordering constraint Eq. 9 and of the
+  interior-node time equality (note 4);
+* loop-carried boundary entries shift both the dependence and the liveness
+  bookkeeping by ``II * distance`` (note 5);
+* explicit coverage constraints (every operation is a root or inside a
+  selected cone);
+* refined per-cut LUT costs by default, the paper's exact ``Bits(v)`` cost
+  with ``paper_objective=True``.
+
+The class exposes every variable group so tests can interrogate the model,
+and :meth:`MappingAwareFormulation.extract` turns a solver assignment into a
+:class:`~repro.scheduling.Schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cuts.cut import Cut, CutSet
+from ..errors import ModelError
+from ..ir.graph import CDFG
+from ..ir.types import OpKind
+from ..milp.model import LinExpr, Model, Solution, Var
+from ..scheduling.schedule import Schedule
+from ..tech.area import AreaModel
+from ..tech.delay import DelayModel
+from ..tech.device import Device
+from .config import SchedulerConfig
+
+__all__ = ["MappingAwareFormulation", "FormulationStats"]
+
+
+@dataclass
+class FormulationStats:
+    """Model-size bookkeeping (drives the Table 2 discussion)."""
+
+    num_nodes: int = 0
+    num_cut_vars: int = 0
+    num_sched_vars: int = 0
+    num_live_vars: int = 0
+    num_constraints: int = 0
+    horizon: int = 0
+    live_horizon: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+class MappingAwareFormulation:
+    """Builds and decodes the MILP for one CDFG.
+
+    Parameters
+    ----------
+    graph:
+        Validated CDFG.
+    cuts:
+        Cut sets from :func:`repro.cuts.enumerate_cuts` (MILP-map) or unit
+        cuts only (MILP-base — see
+        :meth:`repro.core.mapsched.BaseScheduler`).
+    device / config:
+        Target characterization and scheduler knobs.
+    horizon:
+        Pipeline-latency bound M (cycles).
+    """
+
+    def __init__(self, graph: CDFG, cuts: dict[int, CutSet], device: Device,
+                 config: SchedulerConfig, horizon: int) -> None:
+        self.graph = graph
+        self.cuts = cuts
+        self.device = device
+        self.config = config
+        self.horizon = int(horizon)
+        if self.horizon < 1:
+            raise ModelError(f"horizon must be >= 1, got {horizon}")
+        self.delay_model = DelayModel(device, graph)
+        self.area_model = AreaModel(device, graph)
+        # Schedulers fill only the uncertainty-derated budget (like real
+        # tools); the target period stays in config.tcp for reporting.
+        self.budget = device.usable_period(config.tcp)
+        self.model = Model(f"mapsched[{graph.name}]")
+        self.stats = FormulationStats(horizon=self.horizon)
+
+        # Variable groups (filled by build()).
+        self.cut_vars: dict[int, list[tuple[Cut, Var]]] = {}
+        self.sched_vars: dict[int, list[Var]] = {}
+        self.live_vars: dict[int, list[Var]] = {}
+        self.resource_vars: dict[str, Var] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Node classification helpers
+    # ------------------------------------------------------------------
+    def _is_const(self, nid: int) -> bool:
+        return self.graph.node(nid).kind is OpKind.CONST
+
+    def _is_input(self, nid: int) -> bool:
+        return self.graph.node(nid).kind is OpKind.INPUT
+
+    def _schedulable_ids(self) -> list[int]:
+        """Nodes that get s_{v,t} variables (everything but PIs/constants)."""
+        return [
+            n.nid for n in self.graph
+            if n.kind not in (OpKind.INPUT, OpKind.CONST)
+        ]
+
+    def _forced_root(self, nid: int) -> bool:
+        """Black boxes and OUTPUT sinks always select their unit cut."""
+        node = self.graph.node(nid)
+        return node.is_blackbox or node.kind is OpKind.OUTPUT
+
+    # ------------------------------------------------------------------
+    # Expression helpers
+    # ------------------------------------------------------------------
+    def s_expr(self, nid: int) -> LinExpr:
+        """``S_v`` as a linear expression (Eq. 6); constants/PIs are 0."""
+        if nid not in self.sched_vars:
+            return LinExpr({}, 0.0)
+        expr = LinExpr()
+        for t, var in enumerate(self.sched_vars[nid]):
+            expr = expr + t * var
+        return expr
+
+    def l_var(self, nid: int) -> LinExpr:
+        """``L_v`` as an expression; constants/PIs are 0."""
+        var = self._l.get(nid)
+        return var._expr() if var is not None else LinExpr({}, 0.0)
+
+    def root_expr(self, nid: int) -> LinExpr:
+        """``root_v`` (Eq. 2); 1 for PIs and forced roots, 0 for constants."""
+        if self._is_const(nid):
+            return LinExpr({}, 0.0)
+        if self._is_input(nid) or self._forced_root(nid):
+            return LinExpr({}, 1.0)
+        expr = LinExpr()
+        for _, var in self.cut_vars.get(nid, ()):
+            expr = expr + var
+        return expr
+
+    def delay_expr(self, nid: int) -> LinExpr:
+        """``D_v = sum_i d_{v,i} c_{v,i}`` (DESIGN.md note 3)."""
+        node = self.graph.node(nid)
+        if nid not in self.cut_vars:
+            if self._forced_root(nid):
+                if node.kind is OpKind.OUTPUT:
+                    return LinExpr({}, 0.0)
+                return LinExpr({}, self.delay_model.operator_delay(node))
+            return LinExpr({}, 0.0)  # PI / const
+        expr = LinExpr()
+        for cut, var in self.cut_vars[nid]:
+            expr = expr + self.delay_model.cut_delay(node, cut) * var
+        return expr
+
+    def def_expr(self, nid: int, t: int) -> LinExpr:
+        """``def_{v,t}`` (Eq. 10): available on or before cycle t."""
+        if nid not in self.sched_vars:
+            # PIs are available from cycle 0; constants never need registers.
+            return LinExpr({}, 1.0 if self._is_input(nid) else 0.0)
+        expr = LinExpr()
+        for z, var in enumerate(self.sched_vars[nid]):
+            if z <= t:
+                expr = expr + var
+        return expr
+
+    def kill_expr(self, nid: int, t: int, shift: int) -> LinExpr:
+        """``kill_{v,t}`` shifted by ``II*distance`` cycles (Eq. 11 + note 5)."""
+        if nid not in self.sched_vars:
+            return LinExpr({}, 1.0)
+        expr = LinExpr()
+        for z, var in enumerate(self.sched_vars[nid]):
+            if z + shift <= t:
+                expr = expr + var
+        return expr
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> Model:
+        """Create all variables and constraints; returns the model."""
+        if self._built:
+            return self.model
+        self._built = True
+        self._l: dict[int, Var] = {}
+        self._make_variables()
+        self._cover_constraints()
+        self._assignment_constraints()
+        self._dependence_constraints()
+        self._cycle_time_constraints()
+        self._liveness_constraints()
+        self._resource_constraints()
+        self._objective()
+        self.stats.num_nodes = len(self.graph)
+        self.stats.num_constraints = self.model.num_constraints
+        return self.model
+
+    def _make_variables(self) -> None:
+        m = self.model
+        graph = self.graph
+        for nid in self._schedulable_ids():
+            node = graph.node(nid)
+            self.sched_vars[nid] = [
+                m.binary(f"s[{nid},{t}]") for t in range(self.horizon)
+            ]
+            self._l[nid] = m.continuous(f"L[{nid}]", 0.0, self.budget)
+            if not self._forced_root(nid) and node.is_mappable:
+                pairs = [
+                    (cut, m.binary(f"c[{nid},{i}]"))
+                    for i, cut in enumerate(self.cuts[nid].selectable)
+                ]
+                if not pairs:
+                    raise ModelError(f"node {nid} has no selectable cuts")
+                self.cut_vars[nid] = pairs
+        self.stats.num_sched_vars = sum(len(v) for v in self.sched_vars.values())
+        self.stats.num_cut_vars = sum(len(v) for v in self.cut_vars.values())
+
+    # -- Eq. 2/3/4 + coverage -------------------------------------------
+    def _cover_constraints(self) -> None:
+        m = self.model
+        graph = self.graph
+
+        # root_v = sum_i c_{v,i} <= 1 (Eq. 2: root is binary).
+        for nid, pairs in self.cut_vars.items():
+            expr = LinExpr()
+            for _, var in pairs:
+                expr = expr + var
+            m.add(expr <= 1, name=f"root_binary[{nid}]")
+
+        # Eq. 3: primary outputs are roots (OUTPUT sinks are forced roots;
+        # their unit cut then forces the producing op to be a root via Eq. 4).
+
+        # Eq. 4: boundary nodes of a selected cut must be roots.
+        for nid, pairs in self.cut_vars.items():
+            for cut, var in pairs:
+                for u in sorted(cut.boundary):
+                    if self._is_const(u) or self._is_input(u):
+                        continue
+                    m.add(var <= self.root_expr(u),
+                          name=f"cut_input_root[{nid},{u}]")
+        for nid in self._schedulable_ids():
+            if not self._forced_root(nid):
+                continue
+            cs = self.cuts[nid]
+            unit = cs.unit
+            if unit is None:
+                continue
+            for u in sorted(unit.boundary):
+                if self._is_const(u) or self._is_input(u):
+                    continue
+                m.add(self.root_expr(u) >= 1,
+                      name=f"forced_input_root[{nid},{u}]")
+
+        # Coverage: every mappable op is a root or interior to a selected
+        # cone (implicit in the paper; explicit here for robustness).
+        interior_of: dict[int, list[Var]] = {}
+        for nid, pairs in self.cut_vars.items():
+            for cut, var in pairs:
+                for w in cut.interior:
+                    interior_of.setdefault(w, []).append(var)
+        for nid in self.cut_vars:
+            expr = self.root_expr(nid)
+            for var in interior_of.get(nid, ()):
+                expr = expr + var
+            m.add(expr >= 1, name=f"cover[{nid}]")
+
+    # -- Eq. 5 ----------------------------------------------------------
+    def _assignment_constraints(self) -> None:
+        for nid, svars in self.sched_vars.items():
+            expr = LinExpr()
+            for var in svars:
+                expr = expr + var
+            self.model.add(expr == 1, name=f"assign[{nid}]")
+
+    # -- Eq. 7 ----------------------------------------------------------
+    def _dependence_constraints(self) -> None:
+        ii = self.config.ii
+        for node in self.graph:
+            if self._is_const(node.nid):
+                continue
+            sv = self.s_expr(node.nid)
+            for op in node.operands:
+                if self._is_const(op.source):
+                    continue
+                su = self.s_expr(op.source)
+                self.model.add(
+                    su - sv - ii * op.distance <= 0,
+                    name=f"dep[{op.source}->{node.nid}]",
+                )
+
+    # -- Eq. 8 / Eq. 9 / interior equality ---------------------------------
+    def _cycle_time_constraints(self) -> None:
+        m = self.model
+        tcp = self.budget
+        ii = self.config.ii
+        big = tcp * (self.horizon + ii * self._max_entry_distance() + 2)
+
+        # Eq. 8: a root's cone must fit in its cycle.
+        for nid in self._schedulable_ids():
+            m.add(self.l_var(nid) + self.delay_expr(nid) <= tcp,
+                  name=f"cycletime[{nid}]")
+
+        def abs_time(nid: int) -> LinExpr:
+            return tcp * self.s_expr(nid) + self.l_var(nid)
+
+        # Eq. 9 (big-M, per-cut delays): for each cut i of v and each
+        # boundary entry (u, dist): if c_{v,i}=1 then u's value (produced
+        # dist iterations earlier) is finished before v starts.
+        for nid, pairs in self.cut_vars.items():
+            for cut, cvar in pairs:
+                for u, dist in cut.entries:
+                    if self._is_const(u):
+                        continue
+                    lhs = (abs_time(u) + self.delay_expr(u)
+                           - abs_time(nid) - tcp * ii * dist)
+                    m.add(lhs <= big * (1 - cvar),
+                          name=f"chain[{nid},{u}@{dist}]")
+        # Same for forced roots (their unit cut is always selected).
+        for nid in self._schedulable_ids():
+            if not self._forced_root(nid):
+                continue
+            unit = self.cuts[nid].unit
+            if unit is None:
+                continue
+            for u, dist in unit.entries:
+                if self._is_const(u):
+                    continue
+                lhs = (abs_time(u) + self.delay_expr(u)
+                       - abs_time(nid) - tcp * ii * dist)
+                m.add(lhs <= 0, name=f"chain_forced[{nid},{u}@{dist}]")
+
+        # Interior equality (DESIGN.md note 4): nodes swallowed by a cone
+        # execute "at" the root's time. Cycle equality is pinned separately
+        # from absolute-time equality because (cycle, L=budget) and
+        # (cycle+1, L=0) alias in absolute time.
+        horizon = self.horizon
+        for nid, pairs in self.cut_vars.items():
+            for cut, cvar in pairs:
+                for w in sorted(cut.interior):
+                    if w not in self.sched_vars:
+                        continue
+                    diff = abs_time(w) - abs_time(nid)
+                    m.add(diff <= big * (1 - cvar),
+                          name=f"interior_le[{nid},{w}]")
+                    m.add((-1 * diff) <= big * (1 - cvar),
+                          name=f"interior_ge[{nid},{w}]")
+                    sdiff = self.s_expr(w) - self.s_expr(nid)
+                    m.add(sdiff <= horizon * (1 - cvar),
+                          name=f"interior_cycle_le[{nid},{w}]")
+                    m.add((-1 * sdiff) <= horizon * (1 - cvar),
+                          name=f"interior_cycle_ge[{nid},{w}]")
+
+    def _max_entry_distance(self) -> int:
+        best = 0
+        for cs in self.cuts.values():
+            for cut in cs.selectable:
+                for _, dist in cut.entries:
+                    best = max(best, dist)
+        return best
+
+    # -- Eq. 10-13 ----------------------------------------------------------
+    def _liveness_constraints(self) -> None:
+        m = self.model
+        ii = self.config.ii
+        live_horizon = self.horizon + ii * self._max_entry_distance()
+        self.stats.live_horizon = live_horizon
+
+        # consumed[v][(u, dist)] = sum of c_{v,i} over cuts whose entries
+        # contain (u, dist); constant 1 for forced roots.
+        consumers: dict[tuple[int, int, int], LinExpr] = {}
+
+        def note_entry(v: int, u: int, dist: int, expr_or_one) -> None:
+            key = (u, dist, v)
+            cur = consumers.get(key)
+            if cur is None:
+                cur = LinExpr()
+            consumers[key] = cur + expr_or_one
+
+        for v, pairs in self.cut_vars.items():
+            for cut, cvar in pairs:
+                for u, dist in cut.entries:
+                    if self._is_const(u):
+                        continue
+                    note_entry(v, u, dist, cvar)
+        for v in self._schedulable_ids():
+            if not self._forced_root(v):
+                continue
+            unit = self.cuts[v].unit
+            if unit is None:
+                continue
+            for u, dist in unit.entries:
+                if self._is_const(u):
+                    continue
+                note_entry(v, u, dist, 1.0)
+
+        # live variables for every producer that appears as an entry.
+        producers = sorted({u for (u, _, _) in consumers})
+        for u in producers:
+            node = self.graph.node(u)
+            if node.kind is OpKind.OUTPUT:
+                continue
+            self.live_vars[u] = [
+                m.binary(f"live[{u},{t}]") for t in range(live_horizon)
+            ]
+        self.stats.num_live_vars = sum(len(v) for v in self.live_vars.values())
+
+        # Eq. 12 with the consumed-aggregation and distance shift.
+        for (u, dist, v), consumed in consumers.items():
+            if u not in self.live_vars:
+                continue
+            for t in range(live_horizon):
+                lhs = (self.def_expr(u, t)
+                       - self.kill_expr(v, t, ii * dist)
+                       - (1 - consumed))
+                m.add(lhs <= self.live_vars[u][t],
+                      name=f"live[{u},{v},{dist},{t}]")
+
+    # -- Eq. 14 ----------------------------------------------------------
+    def _resource_constraints(self) -> None:
+        m = self.model
+        ii = self.config.ii
+        by_class: dict[str, list[int]] = {}
+        for node in self.graph:
+            if node.is_blackbox and node.rclass:
+                by_class.setdefault(node.rclass, []).append(node.nid)
+        for rclass, members in sorted(by_class.items()):
+            cap = self.device.blackbox_counts.get(rclass)
+            hi = cap if cap is not None else len(members)
+            xr = m.integer(f"X[{rclass}]", 0, hi)
+            self.resource_vars[rclass] = xr
+            for slot in range(ii):
+                expr = LinExpr()
+                for v in members:
+                    for t, var in enumerate(self.sched_vars[v]):
+                        if t % ii == slot:
+                            expr = expr + var
+                m.add(expr - xr <= 0, name=f"res[{rclass},{slot}]")
+
+    # -- Eq. 15 ----------------------------------------------------------
+    def _objective(self) -> None:
+        alpha = self.config.alpha
+        beta = self.config.beta
+        obj = LinExpr()
+        for nid, pairs in self.cut_vars.items():
+            node = self.graph.node(nid)
+            for cut, var in pairs:
+                if self.config.paper_objective:
+                    cost = self.area_model.paper_lut_cost(node)
+                else:
+                    cost = self.area_model.cut_lut_cost(node, cut)
+                if cost:
+                    obj = obj + alpha * cost * var
+        for u, lvars in self.live_vars.items():
+            bits = self.area_model.register_bits(self.graph.node(u))
+            for var in lvars:
+                obj = obj + beta * bits * var
+        # Tiny latency regularizer: among equal-cost schedules prefer the
+        # shorter one (coefficient far below any real cost delta).
+        for nid in self.sched_vars:
+            obj = obj + 1e-4 * self.s_expr(nid)
+        self.model.minimize(obj)
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def extract(self, solution: Solution, method: str) -> Schedule:
+        """Turn a solver assignment into a verified-shape Schedule."""
+        if not solution.ok:
+            raise ModelError(
+                f"cannot extract schedule from status {solution.status!r}"
+            )
+        cycle: dict[int, int] = {}
+        start: dict[int, float] = {}
+        cover: dict[int, Cut] = {}
+        for nid, svars in self.sched_vars.items():
+            chosen = [t for t, var in enumerate(svars)
+                      if solution.int_value(var) == 1]
+            if len(chosen) != 1:
+                raise ModelError(f"node {nid}: {len(chosen)} cycles selected")
+            cycle[nid] = chosen[0]
+            start[nid] = max(0.0, solution[self._l[nid]])
+        for node in self.graph:
+            if node.kind in (OpKind.INPUT, OpKind.CONST):
+                cycle[node.nid] = 0
+                start[node.nid] = 0.0
+        for nid, pairs in self.cut_vars.items():
+            selected = [cut for cut, var in pairs
+                        if solution.int_value(var) == 1]
+            if len(selected) > 1:
+                raise ModelError(f"node {nid}: multiple cuts selected")
+            if selected:
+                cover[nid] = selected[0]
+        for nid in self._schedulable_ids():
+            if self._forced_root(nid):
+                unit = self.cuts[nid].unit
+                if unit is not None:
+                    cover[nid] = unit
+        for node in self.graph.inputs:
+            cover[node.nid] = self.cuts[node.nid].trivial
+
+        return Schedule(
+            graph=self.graph,
+            ii=self.config.ii,
+            tcp=self.budget,
+            cycle=cycle,
+            start=start,
+            cover=cover,
+            method=method,
+            objective=solution.objective,
+            solve_seconds=solution.solve_seconds,
+            optimal=solution.status == "optimal",
+        )

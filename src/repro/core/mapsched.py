@@ -1,0 +1,111 @@
+"""Top-level schedulers: MILP-map and MILP-base (Sec. 4 method names).
+
+:class:`MapScheduler` runs the full flow of the paper: word-level cut
+enumeration, MILP construction, solve (with the time cap), extraction, and
+independent verification. :class:`BaseScheduler` is the mapping-agnostic
+control: it "skips the cut enumeration step" so every operation only has its
+unit (standalone-operator) cut — the delays are then exactly the additive
+pre-characterized ones, but scheduling and register minimization are still
+exact.
+"""
+
+from __future__ import annotations
+
+from ..cuts.cut import CutSet
+from ..cuts.enumerate import CutEnumerator
+from ..errors import InfeasibleError, SolverError
+from ..ir.graph import CDFG
+from ..ir.validate import validate
+from ..milp.model import SolveStatus
+from ..scheduling.modulo import HeuristicModuloScheduler
+from ..scheduling.schedule import Schedule
+from ..tech.device import XC7, Device
+from .config import SchedulerConfig
+from .formulation import MappingAwareFormulation
+from .verify import verify_schedule
+
+__all__ = ["MapScheduler", "BaseScheduler"]
+
+
+class MapScheduler:
+    """Mapping-aware modulo scheduling via MILP (the paper's contribution)."""
+
+    method_name = "milp-map"
+
+    def __init__(self, graph: CDFG, device: Device = XC7,
+                 config: SchedulerConfig | None = None) -> None:
+        validate(graph)
+        self.graph = graph
+        self.device = device
+        self.config = config or SchedulerConfig()
+        self.enumerator: CutEnumerator | None = None
+        self.formulation: MappingAwareFormulation | None = None
+        self.cuts: dict[int, CutSet] = {}
+
+    # ------------------------------------------------------------------
+    def enumerate(self) -> dict[int, CutSet]:
+        """Run cut enumeration (full sets for MILP-map)."""
+        self.enumerator = CutEnumerator(
+            self.graph, self.device.k, max_cuts=self.config.max_cuts
+        )
+        self.cuts = self.enumerator.run()
+        return self.cuts
+
+    def _horizon(self) -> int:
+        if self.config.latency_bound is not None:
+            return self.config.latency_bound
+        heuristic = HeuristicModuloScheduler(self.graph, self.device,
+                                             self.config.tcp)
+        # The additive-delay latency upper-bounds the mapped latency; the
+        # margin absorbs modulo packing of constrained black boxes.
+        latency = heuristic.asap_latency()
+        return max(1, latency) + self.config.latency_margin
+
+    # ------------------------------------------------------------------
+    def schedule(self) -> Schedule:
+        """Enumerate, build, solve, extract and verify."""
+        if not self.cuts:
+            self.enumerate()
+        horizon = self._horizon()
+        schedule = self._solve_with_horizon(horizon)
+        if schedule is None:
+            # One retry with a generous horizon before declaring defeat.
+            schedule = self._solve_with_horizon(horizon * 2 + 4)
+        if schedule is None:
+            raise InfeasibleError(
+                f"no feasible schedule for {self.graph.name} at "
+                f"II={self.config.ii}, Tcp={self.config.tcp}"
+            )
+        return verify_schedule(schedule, self.device)
+
+    def _solve_with_horizon(self, horizon: int) -> Schedule | None:
+        self.formulation = MappingAwareFormulation(
+            self.graph, self.cuts, self.device, self.config, horizon
+        )
+        model = self.formulation.build()
+        solution = model.solve(
+            backend=self.config.backend,
+            time_limit=self.config.time_limit,
+            mip_rel_gap=self.config.mip_rel_gap,
+        ) if self.config.backend == "scipy" else model.solve(
+            backend=self.config.backend, time_limit=self.config.time_limit
+        )
+        if solution.status == SolveStatus.INFEASIBLE:
+            return None
+        if not solution.ok:
+            raise SolverError(
+                f"solver returned {solution.status}: {solution.message}"
+            )
+        return self.formulation.extract(solution, self.method_name)
+
+
+class BaseScheduler(MapScheduler):
+    """MILP-base: exact scheduling without mapping awareness (Sec. 4)."""
+
+    method_name = "milp-base"
+
+    def enumerate(self) -> dict[int, CutSet]:
+        """Unit cuts only — max_cuts=0 disables cone growth entirely."""
+        self.enumerator = CutEnumerator(self.graph, self.device.k, max_cuts=0)
+        self.cuts = self.enumerator.run()
+        return self.cuts

@@ -1,0 +1,151 @@
+"""Independent schedule verification.
+
+Re-checks a :class:`~repro.scheduling.Schedule` + cover against the problem
+statement of Sec. 3 without reusing any MILP machinery: coverage, cut
+feasibility, root/boundary consistency, cycle-time budgets, dependence and
+recurrence timing, and black-box resource limits. Every scheduler in the
+library funnels its result through :func:`verify_schedule`, so a formulation
+bug cannot silently ship a bogus QoR number.
+"""
+
+from __future__ import annotations
+
+from ..errors import ScheduleVerificationError
+from ..ir.types import OpKind
+from ..scheduling.schedule import Schedule
+from ..tech.delay import DelayModel
+from ..tech.device import Device
+
+__all__ = ["verify_schedule", "schedule_problems"]
+
+_TOL = 1e-6
+
+
+def schedule_problems(schedule: Schedule, device: Device) -> list[str]:
+    """Return all constraint violations (empty list = valid)."""
+    problems: list[str] = []
+    graph = schedule.graph
+    tcp = schedule.tcp
+    ii = schedule.ii
+    delay_model = DelayModel(device, graph)
+
+    def impl_delay(nid: int) -> float:
+        node = graph.node(nid)
+        cut = schedule.cover.get(nid)
+        if cut is None:
+            return 0.0
+        return delay_model.cut_delay(node, cut)
+
+    def abs_start(nid: int) -> float:
+        return schedule.cycle[nid] * tcp + schedule.start.get(nid, 0.0)
+
+    # -- structural: everything scheduled -------------------------------
+    for node in graph:
+        if node.kind is OpKind.CONST:
+            continue
+        if node.nid not in schedule.cycle:
+            problems.append(f"node {node.nid} is unscheduled")
+    if problems:
+        return problems
+
+    # -- cover legality --------------------------------------------------
+    covered: set[int] = set()
+    for nid, cut in schedule.cover.items():
+        node = graph.node(nid)
+        if cut.root != nid:
+            problems.append(f"cover[{nid}] is a cut of node {cut.root}")
+            continue
+        covered.add(nid)
+        covered.update(cut.interior)
+        if node.is_mappable and not cut.is_unit and not cut.feasible(device.k):
+            problems.append(
+                f"root {nid} selected an infeasible non-unit cut "
+                f"(support {cut.max_support} > K={device.k})"
+            )
+        for u in cut.boundary:
+            un = graph.node(u)
+            if un.kind in (OpKind.CONST, OpKind.INPUT):
+                continue
+            if u not in schedule.cover:
+                problems.append(
+                    f"cut input {u} of root {nid} is not itself a root"
+                )
+    for node in graph:
+        if not node.is_mappable:
+            continue
+        if node.nid not in covered:
+            problems.append(f"operation {node.nid} is not covered by any cone")
+
+    # -- interior nodes execute at their root's time ----------------------
+    for nid, cut in schedule.cover.items():
+        for w in cut.interior:
+            if w not in schedule.cycle:
+                continue
+            if schedule.cycle[w] != schedule.cycle[nid] or \
+                    abs(schedule.start.get(w, 0.0)
+                        - schedule.start.get(nid, 0.0)) > 1e-4:
+                problems.append(
+                    f"interior node {w} not co-timed with root {nid}"
+                )
+
+    # -- cycle-time budget (Eq. 8) ----------------------------------------
+    for nid in schedule.cover:
+        lv = schedule.start.get(nid, 0.0)
+        d = impl_delay(nid)
+        if lv + d > tcp + _TOL:
+            problems.append(
+                f"root {nid}: start {lv:.3f} + delay {d:.3f} exceeds "
+                f"Tcp {tcp:.3f}"
+            )
+
+    # -- chaining across cut entries (Eq. 9) -------------------------------
+    for nid, cut in schedule.cover.items():
+        for u, dist in cut.entries:
+            un = graph.node(u)
+            if un.kind is OpKind.CONST:
+                continue
+            u_finish = abs_start(u) + impl_delay(u)
+            v_start = abs_start(nid) + tcp * ii * dist
+            if u_finish > v_start + _TOL:
+                problems.append(
+                    f"entry {u}@{dist} of root {nid} finishes at "
+                    f"{u_finish:.3f} after the cone starts at {v_start:.3f}"
+                )
+
+    # -- dependence distances (Eq. 7) ---------------------------------------
+    for node in graph:
+        if node.kind is OpKind.CONST:
+            continue
+        for op in node.operands:
+            if graph.node(op.source).kind is OpKind.CONST:
+                continue
+            if schedule.cycle[op.source] > schedule.cycle[node.nid] \
+                    + ii * op.distance:
+                problems.append(
+                    f"dependence {op.source} -> {node.nid} "
+                    f"(distance {op.distance}) violated"
+                )
+
+    # -- black-box resources (Eq. 14) ----------------------------------------
+    usage: dict[tuple[str, int], int] = {}
+    for node in graph:
+        if node.is_blackbox and node.rclass:
+            slot = schedule.cycle[node.nid] % ii
+            usage[(node.rclass, slot)] = usage.get((node.rclass, slot), 0) + 1
+    for (rclass, slot), used in usage.items():
+        cap = device.blackbox_counts.get(rclass)
+        if cap is not None and used > cap:
+            problems.append(
+                f"resource {rclass}: {used} ops in modulo slot {slot} "
+                f"but only {cap} available"
+            )
+
+    return problems
+
+
+def verify_schedule(schedule: Schedule, device: Device) -> Schedule:
+    """Raise :class:`ScheduleVerificationError` on any violation."""
+    problems = schedule_problems(schedule, device)
+    if problems:
+        raise ScheduleVerificationError(problems)
+    return schedule

@@ -1,0 +1,6 @@
+"""Word-level cut enumeration (paper Sec. 3.1, Algorithm 1)."""
+
+from .cut import Cut, CutSet
+from .enumerate import CutEnumerator, EnumerationStats, enumerate_cuts
+
+__all__ = ["Cut", "CutSet", "CutEnumerator", "EnumerationStats", "enumerate_cuts"]

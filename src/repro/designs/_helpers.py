@@ -1,0 +1,71 @@
+"""Shared dataflow idioms used by several benchmark generators."""
+
+from __future__ import annotations
+
+from ..ir.builder import DFGBuilder, Value
+
+__all__ = ["smear_right", "popcount_swar", "gf_double", "gf_mul_const",
+           "POPCOUNT_MASKS"]
+
+POPCOUNT_MASKS = {
+    # width -> (m1, m2, m4) SWAR masks
+    8: (0x55, 0x33, 0x0F),
+    16: (0x5555, 0x3333, 0x0F0F),
+    32: (0x55555555, 0x33333333, 0x0F0F0F0F),
+    64: (0x5555555555555555, 0x3333333333333333, 0x0F0F0F0F0F0F0F0F),
+}
+
+
+def smear_right(b: DFGBuilder, x: Value) -> Value:
+    """OR-smear every set bit to all lower positions (x |= x>>1, >>2, ...)."""
+    width = x.width
+    shift = 1
+    y = x
+    while shift < width:
+        y = y | (y >> shift)
+        shift *= 2
+    return y
+
+
+def popcount_swar(b: DFGBuilder, x: Value) -> Value:
+    """SWAR population count; returns a value of the input's width."""
+    width = x.width
+    if width not in POPCOUNT_MASKS:
+        raise ValueError(f"popcount_swar supports widths {sorted(POPCOUNT_MASKS)}")
+    m1, m2, m4 = POPCOUNT_MASKS[width]
+    v = x - ((x >> 1) & b.const(m1, width))
+    v = (v & b.const(m2, width)) + ((v >> 2) & b.const(m2, width))
+    v = (v + (v >> 4)) & b.const(m4, width)
+    shift = 8
+    while shift < width:
+        v = v + (v >> shift)
+        shift *= 2
+    return v & b.const(width * 2 - 1, width)
+
+
+def gf_double(b: DFGBuilder, a: Value, poly: int = 0x1B) -> Value:
+    """GF(2^8) multiplication by x (the AES ``xtime`` primitive).
+
+    The IR's constant shift already truncates to the operand width, so no
+    masking AND is needed.
+    """
+    shifted = a << 1
+    carry = a.bit(a.width - 1)
+    return b.mux(carry, shifted ^ b.const(poly, a.width), shifted)
+
+
+def gf_mul_const(b: DFGBuilder, a: Value, constant: int,
+                 poly: int = 0x1B) -> Value:
+    """GF(2^8) multiplication by a compile-time constant (shift/xor net)."""
+    acc: Value | None = None
+    power = a
+    c = constant
+    while c:
+        if c & 1:
+            acc = power if acc is None else (acc ^ power)
+        c >>= 1
+        if c:
+            power = gf_double(b, power, poly)
+    if acc is None:
+        return b.const(0, a.width)
+    return acc

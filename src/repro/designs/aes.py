@@ -1,0 +1,90 @@
+"""AES — one round over a 32-bit column (Table 1 application).
+
+SubBytes is a black-box S-box lookup per byte (BRAM ports — the realistic
+HLS implementation and the paper's "more black-box operations" trait);
+MixColumns is the xtime shift/XOR network; AddRoundKey is a word XOR.
+ShiftRows is a no-op at single-column granularity and is represented by the
+byte slicing itself.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import DFGBuilder
+from ..ir.graph import CDFG
+from ..sim.functional import SimEnvironment
+from ._helpers import gf_mul_const
+from .gfmul import reference_gfmul
+
+__all__ = ["build_aes_round", "reference_aes_round", "make_aes_env",
+           "AES_SBOX"]
+
+
+def _make_sbox() -> list[int]:
+    """The AES S-box, generated from the field inverse + affine map."""
+    # Build GF(2^8) inverse table via exponentiation by generator 3.
+    exp = [0] * 510
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = reference_gfmul(x, 3)
+    for i in range(255, 510):
+        exp[i] = exp[i - 255]
+    sbox = [0] * 256
+    for v in range(256):
+        inv = 0 if v == 0 else exp[255 - log[v]]
+        s = inv
+        for _ in range(4):
+            s = ((s << 1) | (s >> 7)) & 0xFF
+            inv ^= s
+        sbox[v] = inv ^ 0x63
+    return sbox
+
+
+AES_SBOX = _make_sbox()
+
+
+def build_aes_round(width: int = 32) -> CDFG:
+    """DFG of SubBytes + MixColumns + AddRoundKey on one state column."""
+    b = DFGBuilder("aes", width=width)
+    col = b.input("col", width)
+    key = b.input("key", width)
+    # SubBytes: four black-box S-box lookups.
+    subs = []
+    for byte in range(4):
+        addr = col.slice(8 * byte, 8)
+        subs.append(b.load(addr, width=8, name="sbox", rclass="mem_port"))
+    s0, s1, s2, s3 = subs
+    # MixColumns over the substituted bytes.
+    def mixed(a0, a1, a2, a3):
+        return (gf_mul_const(b, a0, 2) ^ gf_mul_const(b, a1, 3) ^ a2 ^ a3)
+    m0 = mixed(s0, s1, s2, s3)
+    m1 = mixed(s1, s2, s3, s0)
+    m2 = mixed(s2, s3, s0, s1)
+    m3 = mixed(s3, s0, s1, s2)
+    word = b.concat(b.concat(m3, m2), b.concat(m1, m0))
+    b.output(word ^ key, "col_out")
+    return b.build()
+
+
+def make_aes_env(seed: int = 0) -> SimEnvironment:
+    """Environment binding the S-box memory (seed unused; table is fixed)."""
+    return SimEnvironment(memories={"sbox": list(AES_SBOX)})
+
+
+def reference_aes_round(col: int, key: int) -> int:
+    """Golden model of the column round."""
+    s = [AES_SBOX[(col >> (8 * i)) & 0xFF] for i in range(4)]
+
+    def mix(a0, a1, a2, a3):
+        return reference_gfmul(a0, 2) ^ reference_gfmul(a1, 3) ^ a2 ^ a3
+
+    m = [
+        mix(s[0], s[1], s[2], s[3]),
+        mix(s[1], s[2], s[3], s[0]),
+        mix(s[2], s[3], s[0], s[1]),
+        mix(s[3], s[0], s[1], s[2]),
+    ]
+    word = m[0] | (m[1] << 8) | (m[2] << 16) | (m[3] << 24)
+    return (word ^ key) & 0xFFFFFFFF

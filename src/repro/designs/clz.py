@@ -1,0 +1,33 @@
+"""CLZ — count leading zeros of a 64-bit value (Table 1 kernel).
+
+The DFG is the branchless form: OR-smear the argument so every bit below
+the leading one is set, then ``clz = width - popcount(smeared)`` with a SWAR
+popcount. This matches the paper's characterization ("almost entirely
+composed of logical and arithmetic operations") and gives the mapper deep
+logic to collapse.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import DFGBuilder
+from ..ir.graph import CDFG
+from ._helpers import popcount_swar, smear_right
+
+__all__ = ["build_clz", "reference_clz"]
+
+
+def build_clz(width: int = 64) -> CDFG:
+    """DFG computing the number of leading zeros of input ``x``."""
+    b = DFGBuilder("clz", width=width)
+    x = b.input("x", width)
+    smeared = smear_right(b, x)
+    ones = popcount_swar(b, smeared)
+    count = b.const(width, width) - ones
+    b.output(count, "clz")
+    return b.build()
+
+
+def reference_clz(x: int, width: int = 64) -> int:
+    """Golden model."""
+    x &= (1 << width) - 1
+    return width - x.bit_length()

@@ -1,0 +1,66 @@
+"""CORDIC — coordinate rotation in fixed point (Table 1 application).
+
+Unrolled rotation-mode iterations: each stage tests the residual angle's
+sign (a single-bit dependence the cut enumerator discovers, like node C of
+the paper's Figure 2) and conditionally adds or subtracts the shifted
+cross terms and the arctangent constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.builder import DFGBuilder
+from ..ir.graph import CDFG
+from ..ir.semantics import mask, to_signed
+
+__all__ = ["build_cordic", "reference_cordic", "cordic_atan_table"]
+
+
+def cordic_atan_table(iterations: int, width: int) -> list[int]:
+    """atan(2^-i) constants in Q(width-3) fixed point, masked to width."""
+    scale = 1 << (width - 3)
+    return [
+        mask(int(round(math.atan(2.0 ** -i) * scale)), width)
+        for i in range(iterations)
+    ]
+
+
+def build_cordic(iterations: int = 5, width: int = 16) -> CDFG:
+    """DFG of ``iterations`` unrolled rotation-mode CORDIC stages."""
+    b = DFGBuilder("cordic", width=width)
+    x = b.input("x", width)
+    y = b.input("y", width)
+    z = b.input("z", width)
+    atans = cordic_atan_table(iterations, width)
+    for i in range(iterations):
+        d = z.sge(0)  # sign test: depends only on the MSB of z
+        xs = x >> i
+        ys = y >> i
+        at = b.const(atans[i], width)
+        x, y, z = (
+            b.mux(d, x - ys, x + ys),
+            b.mux(d, y + xs, y - xs),
+            b.mux(d, z - at, z + at),
+        )
+    b.output(x, "x_out")
+    b.output(y, "y_out")
+    b.output(z, "z_out")
+    return b.build()
+
+
+def reference_cordic(x: int, y: int, z: int, iterations: int = 5,
+                     width: int = 16) -> tuple[int, int, int]:
+    """Golden model (arithmetic shifts are *logical* here, matching the
+    word-level IR whose SHR is logical — documented simplification)."""
+    atans = cordic_atan_table(iterations, width)
+    x, y, z = mask(x, width), mask(y, width), mask(z, width)
+    for i in range(iterations):
+        d = to_signed(z, width) >= 0
+        xs = y >> i
+        ys_ = x >> i
+        if d:
+            x, y, z = mask(x - xs, width), mask(y + ys_, width), mask(z - atans[i], width)
+        else:
+            x, y, z = mask(x + xs, width), mask(y - ys_, width), mask(z + atans[i], width)
+    return x, y, z

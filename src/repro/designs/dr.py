@@ -1,0 +1,56 @@
+"""DR — digit recognition by k-nearest-neighbours (Table 1 application).
+
+The streaming kNN inner loop: XOR the query bitmap against a training
+bitmap fetched through a memory port, popcount the difference (Hamming
+distance), and keep a running minimum distance and its index in
+loop-carried registers. Comparator + wide mux + popcount tree: the mix of
+arithmetic and control logic the paper's ML benchmark exercises.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import DFGBuilder
+from ..ir.graph import CDFG
+from ..ir.semantics import mask
+from ..sim.functional import SimEnvironment
+from ._helpers import popcount_swar
+
+__all__ = ["build_dr", "reference_dr_step", "make_dr_env", "DR_TRAINING"]
+
+DR_TRAINING = [mask(0x9E3779B9 * (i + 1) ^ (i << 13), 32) for i in range(64)]
+
+
+def build_dr(width: int = 32) -> CDFG:
+    """DFG of one kNN candidate evaluation."""
+    b = DFGBuilder("dr", width=width)
+    query = b.input("query", width)
+    idx = b.input("idx", 16)
+    sample = b.load(idx, width=width, name="training", rclass="mem_port")
+    dist = popcount_swar(b, query ^ sample)
+    best = b.recurrence("best_dist", width=width, initial=(1 << width) - 1)
+    best_idx = b.recurrence("best_idx", width=16, initial=0)
+    better = dist.lt(best)
+    new_best = b.mux(better, dist, best)
+    new_idx = b.mux(better, idx, best_idx)
+    new_best.feed(best)
+    new_idx.feed(best_idx)
+    b.output(new_best, "min_dist")
+    b.output(new_idx, "min_idx")
+    return b.build()
+
+
+def make_dr_env(seed: int = 0) -> SimEnvironment:
+    """Environment binding the training-set memory."""
+    return SimEnvironment(memories={"training": list(DR_TRAINING)})
+
+
+def reference_dr_step(query: int, idx: int, best: tuple[int, int],
+                      training: list[int],
+                      width: int = 32) -> tuple[int, int]:
+    """Golden model: returns the updated (min_dist, min_idx)."""
+    sample = training[idx % len(training)]
+    dist = bin(mask(query ^ sample, width)).count("1")
+    best_dist, best_idx = best
+    if dist < best_dist:
+        return dist, idx & 0xFFFF
+    return best_dist, best_idx

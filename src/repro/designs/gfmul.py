@@ -1,0 +1,52 @@
+"""GFMUL — GF(2^8) multiplication via shifts and XORs (Table 1 kernel).
+
+The "Russian peasant" formulation unrolled over all eight multiplier bits:
+each step conditionally accumulates the current multiplicand power and
+doubles it modulo the field polynomial. Pure logic — the showcase for
+mapping-aware scheduling ("the entire pipeline can be implemented in a
+single combinational stage", Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import DFGBuilder
+from ..ir.graph import CDFG
+from ._helpers import gf_double
+
+__all__ = ["build_gfmul", "reference_gfmul"]
+
+
+def build_gfmul(width: int = 8, steps: int | None = None,
+                poly: int = 0x1B) -> CDFG:
+    """DFG computing ``a * b`` in GF(2^8) (AES polynomial by default)."""
+    b = DFGBuilder("gfmul", width=width)
+    a = b.input("a", width)
+    m = b.input("b", width)
+    steps = width if steps is None else steps
+    product = None
+    power = a
+    for i in range(steps):
+        bit = m.bit(i)
+        term = b.mux(bit, power, b.const(0, width))
+        product = term if product is None else (product ^ term)
+        if i + 1 < steps:
+            power = gf_double(b, power, poly)
+    b.output(product, "p")
+    return b.build()
+
+
+def reference_gfmul(a: int, m: int, width: int = 8, poly: int = 0x1B) -> int:
+    """Golden model (same polynomial convention as the builder)."""
+    mask = (1 << width) - 1
+    product = 0
+    a &= mask
+    m &= mask
+    for _ in range(width):
+        if m & 1:
+            product ^= a
+        carry = a & (1 << (width - 1))
+        a = (a << 1) & mask
+        if carry:
+            a ^= poly & mask
+        m >>= 1
+    return product & mask

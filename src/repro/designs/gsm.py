@@ -1,0 +1,74 @@
+"""GSM — short-term synthesis filter section (Table 1 application).
+
+One lattice-filter stage of the GSM 06.10 codec: a DSP-block multiply
+(black box) on the delay-line register, Q15 rounding/shift, saturating
+adds built from comparator and mux logic, and the loop-carried delay-line
+update. Control-heavy saturation logic around black boxes is exactly the
+profile the paper reports for GSM. The recurrence path contains a single
+multiply so the section remains II=1-pipelineable at a 10 ns clock.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import DFGBuilder
+from ..ir.graph import CDFG
+from ..ir.semantics import mask, to_signed
+from ..ir.types import OpKind
+
+__all__ = ["build_gsm", "reference_gsm_step"]
+
+_Q15_ROUND = 1 << 14
+
+
+def _saturate(b, value, width: int):
+    """Clamp a wide signed intermediate into ``width`` bits (Q15 style)."""
+    hi = b.const((1 << (width - 1)) - 1, value.width)
+    lo = b.const(mask(-(1 << (width - 1)), value.width), value.width)
+    over = value.sge(b.const(1 << (width - 1), value.width))
+    under = value.slt(lo)
+    return b.mux(over, hi, b.mux(under, lo, value))
+
+
+def build_gsm(width: int = 16, coeff: int = 0x4000) -> CDFG:
+    """DFG of one short-term filter section (reflection coeff baked in)."""
+    wide = width + 2
+    b = DFGBuilder("gsm", width=wide)
+    sri_in = b.input("sri", wide)
+    u_prev = b.recurrence("u_prev", width=wide, initial=0)
+    rp = b.const(coeff, wide)
+    # DSP multiply on the delay line + Q15 rounding shift.
+    prod = b.blackbox(OpKind.MUL, u_prev, rp, width=wide, rclass="dsp")
+    scaled = (prod + b.const(_Q15_ROUND, wide)) >> 15
+    # Filter output: subtract the reflected term, saturating.
+    sri = _saturate(b, sri_in - scaled, width)
+    # Delay-line update: single multiply on the loop-carried path. The
+    # delay line wraps (no saturation) so the recurrence stays short enough
+    # to close at II=1 even under additive delays; only the filter output
+    # is saturated.
+    u_next = (u_prev + scaled) & b.const((1 << wide) - 1, wide)
+    u_next.feed(u_prev)
+    b.output(sri, "sri_out")
+    b.output(u_next, "u_out")
+    return b.build()
+
+
+def reference_gsm_step(sri_in: int, u_prev: int, width: int = 16,
+                       coeff: int = 0x4000) -> tuple[int, int]:
+    """Golden model of one section; mirrors the IR's wrap semantics."""
+    wide = width + 2
+    wmask = (1 << wide) - 1
+
+    def sat(v: int) -> int:
+        hi = (1 << (width - 1)) - 1
+        lo = mask(-(1 << (width - 1)), wide)
+        if to_signed(v, wide) >= (1 << (width - 1)):
+            return hi
+        if to_signed(v, wide) < to_signed(lo, wide):
+            return lo
+        return v
+
+    prod = (u_prev * coeff) & wmask
+    scaled = ((prod + _Q15_ROUND) & wmask) >> 15
+    sri = sat((sri_in - scaled) & wmask)
+    u_next = (u_prev + scaled) & wmask
+    return sri, u_next

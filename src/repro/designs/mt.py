@@ -1,0 +1,69 @@
+"""MT — Mersenne-Twister-style pseudorandom generation (Table 1 application).
+
+One fully-pipelined ``genrand`` step: two state words stream from the state
+table through black-box memory ports (LOADs), combine through the twist
+(upper/lower masking, matrix-A conditional XOR), and pass the four-stage
+tempering network. The memory ports are the black boxes whose delays the
+paper back-annotates; the tempering chain is where mapping-awareness packs
+LUTs.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import DFGBuilder
+from ..ir.graph import CDFG
+from ..ir.semantics import mask
+from ..sim.functional import SimEnvironment
+
+__all__ = ["build_mt", "reference_mt", "make_mt_env", "MT_TABLE_SIZE"]
+
+MT_TABLE_SIZE = 64
+_UPPER = 0x80000000
+_LOWER = 0x7FFFFFFF
+_MATRIX_A = 0x9908B0DF
+
+
+def build_mt(width: int = 32) -> CDFG:
+    """DFG of one MT generation step (index arrives as an input)."""
+    b = DFGBuilder("mt", width=width)
+    idx = b.input("idx", 16)
+    one = b.const(1, 16)
+    mt_i = b.load(idx, width=width, name="mt_state")
+    mt_i1 = b.load(idx + one, width=width, name="mt_state")
+    mt_m = b.load(idx + b.const(13, 16), width=width, name="mt_state")
+
+    y = (mt_i & b.const(_UPPER, width)) | (mt_i1 & b.const(_LOWER, width))
+    mag = b.mux(y.bit(0), b.const(_MATRIX_A, width), b.const(0, width))
+    x = mt_m ^ (y >> 1) ^ mag
+
+    # Tempering.
+    t = x ^ (x >> 11)
+    t = t ^ ((t << 7) & b.const(0x9D2C5680, width))
+    t = t ^ ((t << 15) & b.const(0xEFC60000, width))
+    t = t ^ (t >> 18)
+    b.output(t, "rand")
+    return b.build()
+
+
+def make_mt_env(seed: int = 1) -> SimEnvironment:
+    """A seeded state table for the functional/pipeline simulators."""
+    state = [0] * MT_TABLE_SIZE
+    state[0] = seed & 0xFFFFFFFF
+    for i in range(1, MT_TABLE_SIZE):
+        state[i] = mask(1812433253 * (state[i - 1] ^ (state[i - 1] >> 30)) + i,
+                        32)
+    return SimEnvironment(memories={"mt_state": state})
+
+
+def reference_mt(idx: int, state: list[int], width: int = 32) -> int:
+    """Golden model of one generation step over ``state``."""
+    n = len(state)
+    mt_i = state[idx % n]
+    mt_i1 = state[(idx + 1) % n]
+    mt_m = state[(idx + 13) % n]
+    y = (mt_i & _UPPER) | (mt_i1 & _LOWER)
+    x = mt_m ^ (y >> 1) ^ (_MATRIX_A if y & 1 else 0)
+    t = x ^ (x >> 11)
+    t = mask(t ^ ((t << 7) & 0x9D2C5680), width)
+    t = mask(t ^ ((t << 15) & 0xEFC60000), width)
+    return mask(t ^ (t >> 18), width)

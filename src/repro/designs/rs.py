@@ -1,0 +1,85 @@
+"""RS — Reed–Solomon decoder syndrome cells (Table 1 application).
+
+Each syndrome accumulator implements the recurrence
+``s_j' = gfmul(s_j, alpha^j) ^ data`` over GF(2^8) (two cells by default,
+so the II=1 recurrence closes even under additive delays): the Galois
+constant-multiplier network (RS "utilizes GFMUL as a kernel", Sec. 4.2),
+a loop-carried register per syndrome, and a black-box memory port streaming
+the received codeword — the same structural recipe as the paper's Figure 2
+walkthrough, at full 8-bit width.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import DFGBuilder
+from ..ir.graph import CDFG
+from ..sim.functional import SimEnvironment
+from ._helpers import gf_mul_const
+from .gfmul import reference_gfmul
+
+__all__ = ["build_rs", "reference_rs_step", "make_rs_env", "RS_CODEWORD"]
+
+_POLY = 0x1D  # the classic RS-255 polynomial x^8+x^4+x^3+x^2+1
+
+RS_CODEWORD = [(37 * i + 11) & 0xFF for i in range(64)]
+
+# Deep constants for the feed-forward locator multipliers (many set bits ->
+# long xtime chains under the additive model).
+_LOCATOR_COEFFS = [0xB7, 0xE5]
+
+
+def _alpha_power(j: int) -> int:
+    value = 1
+    for _ in range(j):
+        value = reference_gfmul(value, 2, poly=_POLY)
+    return value
+
+
+def build_rs(syndromes: int = 2, width: int = 8) -> CDFG:
+    """DFG of ``syndromes`` syndrome-update cells + locator evaluation.
+
+    The feed-forward error-locator term multiplies the fresh syndromes by
+    deep GF constants (a long shift/XOR network, like the paper's RS whose
+    mapping-agnostic schedule needs several stages) and tests the running
+    parity of the locator — so the design has both a tight recurrence and
+    deep feed-forward logic.
+    """
+    b = DFGBuilder("rs", width=width)
+    idx = b.input("idx", 16)
+    data = b.load(idx, width=width, name="codeword", rclass="mem_port")
+    updated = []
+    for j in range(1, syndromes + 1):
+        s = b.recurrence(f"s{j}", width=width, initial=0)
+        nxt = gf_mul_const(b, s, _alpha_power(j), poly=_POLY) ^ data
+        nxt.feed(s)
+        updated.append(nxt)
+        b.output(nxt, f"syn{j}")
+    # Error-locator evaluation (feed-forward, deep constant multipliers).
+    locator = b.const(0, width)
+    for j, syn in enumerate(updated):
+        locator = locator ^ gf_mul_const(b, syn, _LOCATOR_COEFFS[j % len(_LOCATOR_COEFFS)],
+                                         poly=_POLY)
+    no_error = locator.eq(0)
+    b.output(locator, "locator")
+    b.output(no_error, "no_error")
+    return b.build()
+
+
+def make_rs_env(seed: int = 0) -> SimEnvironment:
+    """Environment binding the received codeword memory."""
+    return SimEnvironment(memories={"codeword": list(RS_CODEWORD)})
+
+
+def reference_rs_step(state: list[int], data: int,
+                      syndromes: int = 2) -> tuple[list[int], int, int]:
+    """Golden model of one update: (new syndromes, locator, no_error)."""
+    out = []
+    for j in range(1, syndromes + 1):
+        s = state[j - 1]
+        out.append(reference_gfmul(s, _alpha_power(j), poly=_POLY) ^ data)
+    locator = 0
+    for j, syn in enumerate(out):
+        locator ^= reference_gfmul(
+            syn, _LOCATOR_COEFFS[j % len(_LOCATOR_COEFFS)], poly=_POLY
+        )
+    return out, locator, int(locator == 0)

@@ -1,0 +1,85 @@
+"""Synthetic random DFG generation for stress and property tests."""
+
+from __future__ import annotations
+
+import random
+
+from ..ir.builder import DFGBuilder, Value
+from ..ir.graph import CDFG
+
+__all__ = ["random_dfg"]
+
+
+def random_dfg(seed: int, ops: int = 20, width: int = 8,
+               inputs: int = 3, recurrences: int = 1,
+               allow_arith: bool = True) -> CDFG:
+    """Generate a random, valid, connected CDFG.
+
+    The generator only produces constructs the whole pipeline supports
+    (logic, shifts, adds/subs, comparisons feeding muxes, loop-carried
+    accumulators), so any graph it returns must schedule, map, simulate and
+    emit cleanly — the property the test suite checks end to end.
+    """
+    rng = random.Random(seed)
+    b = DFGBuilder(f"rand{seed}", width=width)
+    pool: list[Value] = [b.input(f"i{k}", width) for k in range(inputs)]
+    recs = []
+    for r in range(recurrences):
+        reg = b.recurrence(f"r{r}", width=width, initial=rng.randrange(1 << width))
+        recs.append(reg)
+        pool.append(reg)
+
+    def pick() -> Value:
+        return rng.choice(pool)
+
+    choices = ["xor", "and", "or", "not", "shl", "shr", "mux"]
+    if allow_arith:
+        choices += ["add", "sub", "cmpmux"]
+    for _ in range(ops):
+        kind = rng.choice(choices)
+        if kind in ("xor", "and", "or"):
+            v = {"xor": pick().__xor__, "and": pick().__and__,
+                 "or": pick().__or__}[kind](pick())
+        elif kind == "not":
+            v = ~pick()
+        elif kind == "shl":
+            v = pick() << rng.randrange(1, width)
+        elif kind == "shr":
+            v = pick() >> rng.randrange(1, width)
+        elif kind == "mux":
+            v = b.mux(pick().bit(rng.randrange(width)), pick(), pick())
+        elif kind == "add":
+            v = pick() + pick()
+        elif kind == "sub":
+            v = pick() - pick()
+        else:  # cmpmux: a comparison driving a select
+            c = pick().sge(0) if rng.random() < 0.5 else pick().lt(pick())
+            v = b.mux(c, pick(), pick())
+        pool.append(v)
+
+    # Close recurrences with late values so cycles are non-trivial; each
+    # recurrence gets its own producer (a shared producer would need equal
+    # initial values).
+    used_producers: set[int] = set()
+    for reg in recs:
+        candidates = [v for v in pool[-max(4, ops // 2):]
+                      if v is not reg and v.nid not in used_producers]
+        if not candidates:
+            candidates = [v for v in pool if v is not reg
+                          and v.nid not in used_producers]
+        producer = rng.choice(candidates)
+        used_producers.add(producer.nid)
+        producer.feed(reg)
+    # Tie everything together so no op is dead: xor-join a sample of the
+    # pool into the output.
+    sample = rng.sample(pool, min(len(pool), 4))
+    out = sample[0]
+    for v in sample[1:]:
+        out = out ^ v
+    # Any ops not reachable from `out` would fail validation; fold the whole
+    # pool (including recurrence registers) into the output.
+    acc = out
+    for v in pool[inputs:]:
+        acc = acc ^ v
+    b.output(acc, "o")
+    return b.build()

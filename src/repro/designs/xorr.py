@@ -1,0 +1,41 @@
+"""XORR — XOR reduction over an array of elements (Table 1 kernel).
+
+The source form is a linear fold (as a C loop would produce); the builder
+then applies the same reduction-tree balancing the commercial tool applied
+("optimized by the HLS tool into a reduction tree with depth 9", Sec. 4.1).
+The elements arrive as parallel inputs — the fully-pipelined kernel
+consumes one array per initiation.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from ..ir.builder import DFGBuilder
+from ..ir.graph import CDFG
+from ..ir.transforms import balance_reduction_trees
+
+__all__ = ["build_xorr", "reference_xorr"]
+
+
+def build_xorr(elements: int = 128, width: int = 16,
+               balanced: bool = True) -> CDFG:
+    """DFG xor-reducing ``elements`` inputs of ``width`` bits."""
+    if elements < 2:
+        raise ValueError("xorr needs at least 2 elements")
+    b = DFGBuilder("xorr", width=width)
+    values = [b.input(f"x{i}", width) for i in range(elements)]
+    acc = values[0]
+    for v in values[1:]:
+        acc = acc ^ v
+    b.output(acc, "xorr")
+    graph = b.build()
+    if balanced:
+        graph, _ = balance_reduction_trees(graph)
+    return graph
+
+
+def reference_xorr(values: list[int], width: int = 16) -> int:
+    """Golden model."""
+    mask = (1 << width) - 1
+    return reduce(lambda a, v: (a ^ v) & mask, values, 0)

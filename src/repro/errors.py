@@ -1,0 +1,79 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single handler while still letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed CDFG: bad operands, widths, unknown nodes, or bad edges."""
+
+
+class ValidationError(IRError):
+    """A CDFG failed structural validation."""
+
+
+class FrontendError(ReproError):
+    """The mini-language frontend rejected a program."""
+
+
+class CutError(ReproError):
+    """Cut enumeration failed or was queried inconsistently."""
+
+
+class ModelError(ReproError):
+    """An MILP model was built or queried incorrectly."""
+
+
+class SolverError(ReproError):
+    """An MILP/LP backend failed to produce a usable answer."""
+
+
+class InfeasibleError(SolverError):
+    """The optimization problem admits no feasible solution."""
+
+    def __init__(self, message: str = "problem is infeasible") -> None:
+        super().__init__(message)
+
+
+class SchedulingError(ReproError):
+    """A scheduler could not produce a legal schedule."""
+
+
+class ScheduleVerificationError(SchedulingError):
+    """An independently-checked schedule violates a constraint.
+
+    Attributes
+    ----------
+    violations:
+        Human-readable descriptions of every violated constraint.
+    """
+
+    def __init__(self, violations: list[str]) -> None:
+        self.violations = list(violations)
+        preview = "; ".join(self.violations[:5])
+        more = "" if len(self.violations) <= 5 else f" (+{len(self.violations) - 5} more)"
+        super().__init__(f"schedule verification failed: {preview}{more}")
+
+
+class MappingError(ReproError):
+    """Technology mapping failed (e.g., no feasible cover for a stage)."""
+
+
+class SimulationError(ReproError):
+    """Functional or cycle-accurate simulation failed or diverged."""
+
+
+class RTLError(ReproError):
+    """Verilog emission failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured or run incorrectly."""

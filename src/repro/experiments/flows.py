@@ -1,0 +1,80 @@
+"""The three evaluation flows of Sec. 4, with the paper's protocol.
+
+Every flow ends in the *same* downstream technology mapping and the same
+hardware cost model, mirroring the paper where all three schedules go
+through Vivado synthesis/P&R:
+
+* **hls-tool** — heuristic additive-delay schedule, then per-stage mapping;
+* **milp-base** — exact additive-delay MILP schedule ("skipping cut
+  enumeration"), then the same per-stage mapping downstream;
+* **milp-map** — the mapping-aware MILP; its jointly-optimized cover *is*
+  the mapping (a downstream mapper honoring the schedule could only match
+  it, since the MILP already chose the per-stage optimum it wanted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import SchedulerConfig
+from ..core.mapsched import BaseScheduler, MapScheduler
+from ..core.verify import verify_schedule
+from ..errors import ExperimentError
+from ..hls.tool import CommercialHLSProxy
+from ..hw.cost import HardwareReport, evaluate
+from ..ir.graph import CDFG
+from ..mapping.stage_mapper import map_schedule
+from ..scheduling.schedule import Schedule
+from ..tech.device import XC7, Device
+
+__all__ = ["ALL_METHODS", "FlowResult", "run_flow", "METHODS"]
+
+METHODS = ("hls-tool", "milp-base", "milp-map")
+
+#: METHODS plus the scalable mapping-aware heuristic (the paper's future
+#: work, built here as an extension — see repro.core.heuristic).
+ALL_METHODS = METHODS + ("heur-map",)
+
+
+@dataclass
+class FlowResult:
+    """Schedule + hardware report for one (design, method) pair."""
+
+    schedule: Schedule
+    report: HardwareReport
+
+
+def run_flow(graph: CDFG, method: str, device: Device = XC7,
+             config: SchedulerConfig | None = None,
+             design: str | None = None) -> FlowResult:
+    """Run one Table 1 flow on ``graph`` and evaluate the hardware."""
+    config = config or SchedulerConfig()
+    if method not in ("hls-tool", "milp-base", "milp-map", "heur-map"):
+        raise ExperimentError(
+            f"unknown method {method!r}; expected one of "
+            f"{METHODS + ('heur-map',)}"
+        )
+    if method == "hls-tool":
+        result = CommercialHLSProxy(graph, device, tcp=config.tcp)\
+            .run(target_ii=config.ii)
+        schedule = result.schedule
+    elif method == "milp-base":
+        schedule = BaseScheduler(graph, device, config).schedule()
+        # Downstream mapping respects the frozen register boundaries but
+        # still packs logic within each stage (as Vivado would).
+        schedule.cover = {}
+        schedule = map_schedule(schedule, device)
+        schedule.method = "milp-base"
+    elif method == "milp-map":
+        schedule = MapScheduler(graph, device, config).schedule()
+    elif method == "heur-map":
+        from ..core.heuristic import MappingAwareHeuristicScheduler
+
+        schedule = MappingAwareHeuristicScheduler(graph, device, config)\
+            .schedule(target_ii=config.ii)
+    else:  # pragma: no cover - guarded above
+        raise ExperimentError(f"unknown method {method!r}")
+    verify_schedule(schedule, device)
+    report = evaluate(schedule, device, design=design or graph.name)
+    report.method = method
+    return FlowResult(schedule=schedule, report=report)

@@ -1,0 +1,37 @@
+"""ASCII table rendering shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "percent"]
+
+
+def percent(new: float, base: float) -> str:
+    """Relative change formatted like the paper: ``(-42.1%)``."""
+    if base == 0:
+        return "(n/a)" if new else "(+0.0%)"
+    delta = (new - base) / base * 100.0
+    sign = "+" if delta >= 0 else "-"
+    return f"({sign}{abs(delta):.1f}%)"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Monospace table with a header rule; all cells stringified."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)

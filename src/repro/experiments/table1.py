@@ -1,0 +1,128 @@
+"""Table 1 — resource usage comparison across the three flows.
+
+For every benchmark, runs the commercial-tool proxy, MILP-base and MILP-map
+at the paper's operating point (target clock 10 ns, II = 1, alpha = beta =
+0.5) and reports achieved CP / LUT / FF with percentages relative to the
+HLS-tool row, in the paper's layout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.config import SchedulerConfig
+from ..errors import ExperimentError
+from ..hw.cost import HardwareReport
+from ..sim.pipeline import replay_equivalent
+from ..tech.device import XC7, Device
+from ..designs.registry import BENCHMARKS, BenchmarkSpec
+from .flows import METHODS, run_flow
+from .reporting import percent, render_table
+
+__all__ = ["Table1Row", "Table1Result", "run_table1", "format_table1"]
+
+
+@dataclass
+class Table1Row:
+    """One (design, method) measurement."""
+
+    design: str
+    domain: str
+    description: str
+    method: str
+    report: HardwareReport
+    replay_ok: bool | None = None
+
+
+@dataclass
+class Table1Result:
+    """All Table 1 measurements plus the configuration used."""
+
+    config: SchedulerConfig
+    device: Device
+    rows: list[Table1Row] = field(default_factory=list)
+
+    def rows_for(self, design: str) -> dict[str, Table1Row]:
+        return {r.method: r for r in self.rows if r.design == design}
+
+
+def run_table1(designs: list[str] | None = None,
+               device: Device = XC7,
+               config: SchedulerConfig | None = None,
+               check_replay: bool = True,
+               replay_iterations: int = 24,
+               progress=None) -> Table1Result:
+    """Run the Table 1 experiment.
+
+    ``check_replay`` additionally replays every produced schedule against
+    the functional reference on a random input stream — a correctness gate
+    the paper delegated to "verify from the synthesis report".
+    """
+    config = config or SchedulerConfig(ii=1, tcp=10.0, alpha=0.5, beta=0.5)
+    names = designs or list(BENCHMARKS)
+    result = Table1Result(config=config, device=device)
+    for name in names:
+        if name not in BENCHMARKS:
+            raise ExperimentError(f"unknown design {name!r}")
+        spec: BenchmarkSpec = BENCHMARKS[name]
+        for method in METHODS:
+            if progress:
+                progress(f"{name}:{method}")
+            flow = run_flow(spec.build(), method, device, config, design=name)
+            replay_ok = None
+            if check_replay:
+                stream = spec.input_stream(seed=7, n=replay_iterations)
+                replay_ok = replay_equivalent(
+                    flow.schedule, device, stream,
+                    env_factory=lambda: spec.make_env(1),
+                )
+            result.rows.append(Table1Row(
+                design=name, domain=spec.domain,
+                description=spec.description, method=method,
+                report=flow.report, replay_ok=replay_ok,
+            ))
+    return result
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render in the paper's Table 1 layout."""
+    headers = ["Design", "Domain", "Method", "CP(ns)", "LUT", "%", "FF", "%",
+               "II", "Depth", "ok"]
+    rows = []
+    for name in dict.fromkeys(r.design for r in result.rows):
+        per_method = result.rows_for(name)
+        base = per_method.get("hls-tool")
+        for method in METHODS:
+            row = per_method.get(method)
+            if row is None:
+                continue
+            r = row.report
+            lut_pct = "" if method == "hls-tool" else \
+                percent(r.luts, base.report.luts)
+            ff_pct = "" if method == "hls-tool" else \
+                percent(r.ffs, base.report.ffs)
+            ok = "" if row.replay_ok is None else \
+                ("yes" if row.replay_ok else "NO")
+            rows.append([
+                name if method == "hls-tool" else "",
+                row.domain if method == "hls-tool" else "",
+                {"hls-tool": "HLS Tool", "milp-base": "MILP-base",
+                 "milp-map": "MILP-map"}[method],
+                f"{r.cp:.2f}", r.luts, lut_pct, r.ffs, ff_pct,
+                r.ii, r.latency, ok,
+            ])
+    title = (f"Table 1: Resource usage comparison "
+             f"(target clock {result.config.tcp:g} ns, II={result.config.ii}, "
+             f"alpha=beta={result.config.alpha:g}, device {result.device.name})")
+    return render_table(headers, rows, title=title)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    random.seed(0)
+    result = run_table1(progress=lambda s: print(f"  running {s}..."))
+    print(format_table1(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,12 @@
+"""Commercial-HLS-tool proxy (heuristic additive-delay baseline flow)."""
+
+from .report import ScheduleReport, back_annotate, make_report
+from .tool import CommercialHLSProxy, HLSResult
+
+__all__ = [
+    "CommercialHLSProxy",
+    "HLSResult",
+    "ScheduleReport",
+    "back_annotate",
+    "make_report",
+]

@@ -1,0 +1,5 @@
+"""Hardware cost model: the library's post-"place & route" report."""
+
+from .cost import HardwareReport, evaluate
+
+__all__ = ["HardwareReport", "evaluate"]

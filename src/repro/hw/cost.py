@@ -1,0 +1,167 @@
+"""Hardware cost model — the library's stand-in for "post place & route".
+
+Given a :class:`~repro.scheduling.Schedule` *with a cover*, computes the
+three quantities Table 1 reports:
+
+* **LUT** — sum of per-root LUT counts (same
+  :class:`~repro.tech.AreaModel` for every flow, so comparisons are fair);
+* **FF** — register bits from value liveness (Eq. 13 semantics: a value
+  occupies ``Bits(v)`` flip-flops for every cycle boundary it crosses,
+  including loop-carried values and input staging);
+* **CP** — achieved clock period: the longest recomputed combinational
+  chain in any cycle, plus register setup and a deterministic congestion
+  term standing in for P&R routing pressure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+from ..ir.types import OpKind
+from ..scheduling.schedule import Schedule
+from ..tech.area import AreaModel
+from ..tech.delay import DelayModel
+from ..tech.device import Device
+
+__all__ = ["HardwareReport", "evaluate"]
+
+
+@dataclass
+class HardwareReport:
+    """Post-"P&R" quality-of-results summary for one flow on one design."""
+
+    design: str
+    method: str
+    cp: float
+    luts: int
+    ffs: int
+    latency: int
+    ii: int
+    solve_seconds: float = 0.0
+    optimal: bool = True
+    resource_usage: dict[str, int] = field(default_factory=dict)
+    live_bits_by_cycle: dict[int, int] = field(default_factory=dict)
+
+    def row(self) -> tuple:
+        """(method, CP, LUT, FF) — the Table 1 tuple."""
+        return (self.method, round(self.cp, 2), self.luts, self.ffs)
+
+
+def _consumption_cycles(schedule: Schedule) -> dict[int, list[int]]:
+    """For each produced value: the cycles at which consumers read it."""
+    graph = schedule.graph
+    ii = schedule.ii
+    reads: dict[int, list[int]] = {}
+    for nid, cut in schedule.cover.items():
+        node = graph.node(nid)
+        if node.kind is OpKind.INPUT:
+            continue
+        for u, dist in cut.entries:
+            if graph.node(u).kind is OpKind.CONST:
+                continue
+            reads.setdefault(u, []).append(schedule.cycle[nid] + ii * dist)
+    return reads
+
+
+def _liveness_ffs(schedule: Schedule, area: AreaModel) -> tuple[int, dict[int, int]]:
+    graph = schedule.graph
+    total = 0
+    by_cycle: dict[int, int] = {}
+    for u, read_cycles in _consumption_cycles(schedule).items():
+        node = graph.node(u)
+        if node.kind is OpKind.OUTPUT:
+            continue
+        born = schedule.cycle.get(u, 0)
+        last = max(read_cycles)
+        bits = area.register_bits(node)
+        for t in range(born, last):
+            total += bits
+            by_cycle[t] = by_cycle.get(t, 0) + bits
+    return total, by_cycle
+
+
+def _critical_path(schedule: Schedule, delay: DelayModel) -> float:
+    """Recompute the worst per-cycle combinational chain over roots."""
+    graph = schedule.graph
+    ii = schedule.ii
+    finish: dict[int, float] = {}
+
+    def finish_of(nid: int, stack: tuple = ()) -> float:
+        if nid in finish:
+            return finish[nid]
+        if nid in stack:
+            raise SchedulingError(
+                f"combinational cycle through root {nid} in cover"
+            )
+        node = graph.node(nid)
+        cut = schedule.cover.get(nid)
+        if cut is None or node.kind in (OpKind.INPUT, OpKind.CONST):
+            finish[nid] = 0.0
+            return 0.0
+        arrival = 0.0
+        for u, dist in cut.entries:
+            un = graph.node(u)
+            if un.kind is OpKind.CONST:
+                continue
+            same_abs_cycle = (
+                schedule.cycle.get(u, 0)
+                == schedule.cycle[nid] + ii * dist
+            )
+            if same_abs_cycle:
+                arrival = max(arrival, finish_of(u, stack + (nid,)))
+        f = arrival + delay.cut_delay(node, cut)
+        finish[nid] = f
+        return f
+
+    worst = 0.0
+    for nid in schedule.cover:
+        worst = max(worst, finish_of(nid))
+    return worst
+
+
+def evaluate(schedule: Schedule, device: Device,
+             design: str | None = None) -> HardwareReport:
+    """Produce the Table 1 quantities for a covered schedule."""
+    if not schedule.cover:
+        raise SchedulingError(
+            "hardware evaluation needs a cover; run a mapper first"
+        )
+    graph = schedule.graph
+    delay = DelayModel(device, graph)
+    area = AreaModel(device, graph)
+
+    luts = 0
+    for nid, cut in schedule.cover.items():
+        luts += area.cut_lut_cost(graph.node(nid), cut)
+
+    ffs, by_cycle = _liveness_ffs(schedule, area)
+
+    chain = _critical_path(schedule, delay)
+    congestion = min(0.10, 0.015 * math.log2(1 + luts))
+    cp = chain * (1.0 + congestion) + device.ff_setup
+
+    usage: dict[str, int] = {}
+    slot_usage: dict[tuple[str, int], int] = {}
+    for node in graph:
+        if node.is_blackbox and node.rclass:
+            slot = schedule.cycle[node.nid] % schedule.ii
+            key = (node.rclass, slot)
+            slot_usage[key] = slot_usage.get(key, 0) + 1
+    for (rclass, _), n in slot_usage.items():
+        usage[rclass] = max(usage.get(rclass, 0), n)
+
+    return HardwareReport(
+        design=design or graph.name,
+        method=schedule.method,
+        cp=cp,
+        luts=luts,
+        ffs=ffs,
+        latency=schedule.latency,
+        ii=schedule.ii,
+        solve_seconds=schedule.solve_seconds,
+        optimal=schedule.optimal,
+        resource_usage=usage,
+        live_bits_by_cycle=by_cycle,
+    )

@@ -1,0 +1,301 @@
+"""A small DSL for constructing CDFGs.
+
+The builder hands out :class:`Value` objects that overload Python operators,
+so benchmark generators read like the dataflow they describe::
+
+    b = DFGBuilder("gf_mult", width=8)
+    a, x = b.input("a"), b.input("x")
+    prod = (a ^ x) & b.const(0x1D)
+    b.output(prod >> 1, "out")
+    graph = b.build()
+
+Loop-carried values (the paper's inter-iteration dependences) are created
+with :meth:`DFGBuilder.recurrence` and closed with :meth:`Value.feed`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import IRError
+from .graph import CDFG
+from .node import Operand
+from .types import OpKind
+
+__all__ = ["DFGBuilder", "Value"]
+
+
+class Value:
+    """A handle to a node's output inside a :class:`DFGBuilder`."""
+
+    __slots__ = ("builder", "nid")
+
+    def __init__(self, builder: "DFGBuilder", nid: int) -> None:
+        self.builder = builder
+        self.nid = nid
+
+    @property
+    def node(self):
+        """The underlying IR node."""
+        return self.builder.graph.node(self.nid)
+
+    @property
+    def width(self) -> int:
+        """Bit width of this value."""
+        return self.node.width
+
+    # -- bitwise ---------------------------------------------------------
+    def __and__(self, other: "Value | int") -> "Value":
+        return self.builder.op(OpKind.AND, self, other)
+
+    def __or__(self, other: "Value | int") -> "Value":
+        return self.builder.op(OpKind.OR, self, other)
+
+    def __xor__(self, other: "Value | int") -> "Value":
+        return self.builder.op(OpKind.XOR, self, other)
+
+    def __invert__(self) -> "Value":
+        return self.builder.op(OpKind.NOT, self)
+
+    # -- shifts (constant amounts) ----------------------------------------
+    def __lshift__(self, amount: int) -> "Value":
+        return self.builder.shift(self, amount, left=True)
+
+    def __rshift__(self, amount: int) -> "Value":
+        return self.builder.shift(self, amount, left=False)
+
+    # -- arithmetic --------------------------------------------------------
+    def __add__(self, other: "Value | int") -> "Value":
+        return self.builder.op(OpKind.ADD, self, other)
+
+    def __sub__(self, other: "Value | int") -> "Value":
+        return self.builder.op(OpKind.SUB, self, other)
+
+    def __neg__(self) -> "Value":
+        return self.builder.op(OpKind.NEG, self)
+
+    def __mul__(self, other: "Value | int") -> "Value":
+        return self.builder.op(OpKind.MUL, self, other)
+
+    # -- comparisons (1-bit results) ----------------------------------------
+    def eq(self, other: "Value | int") -> "Value":
+        """Equality comparison (1-bit result)."""
+        return self.builder.op(OpKind.EQ, self, other, width=1)
+
+    def ne(self, other: "Value | int") -> "Value":
+        """Inequality comparison (1-bit result)."""
+        return self.builder.op(OpKind.NE, self, other, width=1)
+
+    def lt(self, other: "Value | int") -> "Value":
+        """Unsigned less-than (1-bit result)."""
+        return self.builder.op(OpKind.LT, self, other, width=1)
+
+    def ge(self, other: "Value | int") -> "Value":
+        """Unsigned greater-or-equal (1-bit result)."""
+        return self.builder.op(OpKind.GE, self, other, width=1)
+
+    def slt(self, other: "Value | int") -> "Value":
+        """Signed less-than (1-bit result)."""
+        return self.builder.op(OpKind.SLT, self, other, width=1)
+
+    def sge(self, other: "Value | int") -> "Value":
+        """Signed greater-or-equal (1-bit result)."""
+        return self.builder.op(OpKind.SGE, self, other, width=1)
+
+    # -- width management -----------------------------------------------------
+    def trunc(self, width: int) -> "Value":
+        """Keep the low ``width`` bits."""
+        return self.builder.op(OpKind.TRUNC, self, width=width)
+
+    def zext(self, width: int) -> "Value":
+        """Zero-extend to ``width`` bits."""
+        return self.builder.op(OpKind.ZEXT, self, width=width)
+
+    def slice(self, lo: int, width: int) -> "Value":
+        """Extract ``width`` bits starting at bit ``lo``."""
+        return self.builder.slice(self, lo, width)
+
+    def bit(self, index: int) -> "Value":
+        """Extract a single bit."""
+        return self.builder.slice(self, index, 1)
+
+    # -- recurrences --------------------------------------------------------
+    def feed(self, recurrence: "Value", distance: int = 1) -> None:
+        """Close a loop: make ``recurrence`` carry this value across
+        ``distance`` iterations. ``recurrence`` must come from
+        :meth:`DFGBuilder.recurrence`."""
+        self.builder.close_recurrence(recurrence, self, distance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Value({self.node!r})"
+
+
+class DFGBuilder:
+    """Incrementally builds a :class:`CDFG`."""
+
+    def __init__(self, name: str = "kernel", width: int = 32) -> None:
+        self.graph = CDFG(name)
+        self.default_width = width
+        self._pending_recurrences: dict[int, bool] = {}
+        self._const_cache: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def input(self, name: str, width: int | None = None) -> Value:
+        """Declare a primary input."""
+        node = self.graph.add_node(OpKind.INPUT, width or self.default_width, name=name)
+        return Value(self, node.nid)
+
+    def const(self, value: int, width: int | None = None) -> Value:
+        """Materialize a constant (deduplicated per (value, width))."""
+        w = width or self.default_width
+        masked = value & ((1 << w) - 1)
+        key = (masked, w)
+        if key not in self._const_cache:
+            node = self.graph.add_node(OpKind.CONST, w, value=masked)
+            self._const_cache[key] = node.nid
+        return Value(self, self._const_cache[key])
+
+    def output(self, value: Value, name: str) -> Value:
+        """Declare a primary output fed by ``value``."""
+        node = self.graph.add_node(
+            OpKind.OUTPUT, value.width, operands=[value.nid], name=name
+        )
+        return Value(self, node.nid)
+
+    # ------------------------------------------------------------------
+    def _coerce(self, x: "Value | int", width: int) -> Value:
+        if isinstance(x, Value):
+            return x
+        return self.const(x, width)
+
+    def op(
+        self,
+        kind: OpKind,
+        *args: "Value | int",
+        width: int | None = None,
+        **attrs: Any,
+    ) -> Value:
+        """Create an operation node from Values and/or int literals."""
+        ref_width = width
+        if ref_width is None:
+            widths = [a.width for a in args if isinstance(a, Value)]
+            ref_width = max(widths) if widths else self.default_width
+        lit_width = max(
+            [a.width for a in args if isinstance(a, Value)], default=ref_width
+        )
+        values = [self._coerce(a, lit_width) for a in args]
+        node = self.graph.add_node(
+            kind, ref_width, operands=[v.nid for v in values], **attrs
+        )
+        return Value(self, node.nid)
+
+    def mux(self, sel: "Value | int", a: "Value | int", b: "Value | int") -> Value:
+        """``sel ? a : b`` — operand order is (sel, a, b)."""
+        widths = [x.width for x in (a, b) if isinstance(x, Value)]
+        w = max(widths) if widths else self.default_width
+        sel_v = self._coerce(sel, 1)
+        a_v = self._coerce(a, w)
+        b_v = self._coerce(b, w)
+        node = self.graph.add_node(OpKind.MUX, w, operands=[sel_v.nid, a_v.nid, b_v.nid])
+        return Value(self, node.nid)
+
+    def shift(self, value: Value, amount: int, left: bool) -> Value:
+        """Constant-amount shift (amount stored on the node)."""
+        if amount < 0:
+            raise IRError(f"negative shift amount {amount}")
+        kind = OpKind.SHL if left else OpKind.SHR
+        node = self.graph.add_node(kind, value.width, operands=[value.nid], amount=amount)
+        return Value(self, node.nid)
+
+    def slice(self, value: Value, lo: int, width: int) -> Value:
+        """Extract bits ``[lo, lo+width)``."""
+        node = self.graph.add_node(OpKind.SLICE, width, operands=[value.nid], amount=lo)
+        return Value(self, node.nid)
+
+    def concat(self, hi: Value, lo: Value) -> Value:
+        """Concatenate: result is ``{hi, lo}`` with width ``hi.width+lo.width``."""
+        node = self.graph.add_node(
+            OpKind.CONCAT, hi.width + lo.width, operands=[lo.nid, hi.nid]
+        )
+        return Value(self, node.nid)
+
+    def blackbox(
+        self,
+        kind: OpKind,
+        *args: "Value | int",
+        width: int | None = None,
+        rclass: str | None = None,
+        delay: float | None = None,
+        name: str | None = None,
+    ) -> Value:
+        """Create a black-box operation (memory port, DSP multiply, ...)."""
+        w = width or self.default_width
+        values = [self._coerce(a, w) for a in args]
+        node = self.graph.add_node(
+            kind,
+            w,
+            operands=[v.nid for v in values],
+            rclass=rclass,
+            delay_override=delay,
+            name=name,
+        )
+        return Value(self, node.nid)
+
+    def load(self, address: "Value | int", width: int | None = None,
+             rclass: str = "mem_port", name: str | None = None) -> Value:
+        """Black-box memory read."""
+        return self.blackbox(OpKind.LOAD, address, width=width, rclass=rclass, name=name)
+
+    # ------------------------------------------------------------------
+    # Recurrences (loop-carried values)
+    # ------------------------------------------------------------------
+    def recurrence(self, name: str, width: int | None = None,
+                   initial: int = 0) -> Value:
+        """Declare a loop-carried value before its producer exists.
+
+        Returns a placeholder Value that may be used as an operand now; the
+        producer is attached later via :meth:`Value.feed`. The placeholder is
+        a 1-operand MUX-free pass-through implemented as an OR with zero so
+        that it stays a mappable bitwise node; its single real operand is
+        patched when the loop is closed.
+        """
+        w = width or self.default_width
+        zero = self.const(0, w)
+        node = self.graph.add_node(
+            OpKind.OR, w, operands=[zero.nid, zero.nid], name=name
+        )
+        node.attrs["recurrence"] = True
+        node.attrs["initial"] = initial
+        self._pending_recurrences[node.nid] = True
+        return Value(self, node.nid)
+
+    def close_recurrence(self, placeholder: Value, producer: Value,
+                         distance: int = 1) -> None:
+        """Attach ``producer`` as the loop-carried source of ``placeholder``."""
+        if not self._pending_recurrences.pop(placeholder.nid, False):
+            raise IRError(f"node {placeholder.nid} is not an open recurrence")
+        if distance < 1:
+            raise IRError("recurrence distance must be >= 1")
+        self.graph.set_operand(placeholder.nid, 1, Operand(producer.nid, distance))
+        # The declared initial value architecturally lives in the register
+        # that carries the producer's value across iterations; simulators
+        # and the RTL emitter read it off the *producer*.
+        initial = placeholder.node.attrs.get("initial", 0)
+        existing = producer.node.attrs.get("initial")
+        if existing is not None and existing != initial:
+            raise IRError(
+                f"node {producer.nid} feeds recurrences with conflicting "
+                f"initial values ({existing} vs {initial})"
+            )
+        producer.node.attrs["initial"] = initial
+
+    # ------------------------------------------------------------------
+    def build(self) -> CDFG:
+        """Finalize and return the graph (validates it first)."""
+        if self._pending_recurrences:
+            open_ids = sorted(self._pending_recurrences)
+            raise IRError(f"unclosed recurrences: {open_ids}")
+        from .validate import validate
+
+        validate(self.graph)
+        return self.graph

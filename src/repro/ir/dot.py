@@ -1,0 +1,76 @@
+"""Graphviz DOT export for CDFGs and schedules (debugging / figures)."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from .graph import CDFG
+from .types import OpClass
+
+__all__ = ["to_dot"]
+
+_CLASS_COLORS = {
+    OpClass.BOUNDARY: "lightgray",
+    OpClass.BITWISE: "lightblue",
+    OpClass.SHIFT: "lightyellow",
+    OpClass.ARITH: "lightgreen",
+    OpClass.BLACKBOX: "lightsalmon",
+}
+
+
+def to_dot(
+    graph: CDFG,
+    cycle_of: Mapping[int, int] | None = None,
+    highlight_roots: set[int] | None = None,
+    extra_label: Callable[[int], str] | None = None,
+) -> str:
+    """Render the graph as DOT text.
+
+    Parameters
+    ----------
+    cycle_of:
+        Optional schedule; when given, nodes are clustered by pipeline cycle
+        (this reproduces the visual layout of the paper's Figure 1).
+    highlight_roots:
+        Node ids drawn with a bold border (selected LUT roots).
+    extra_label:
+        Optional per-node label suffix provider.
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;", "  node [shape=box];"]
+
+    def node_line(node) -> str:
+        label = f"{node.label}\\n[{node.width}b]"
+        if extra_label is not None:
+            suffix = extra_label(node.nid)
+            if suffix:
+                label += f"\\n{suffix}"
+        color = _CLASS_COLORS[node.op_class]
+        pen = ' penwidth=3 color="red"' if highlight_roots and node.nid in highlight_roots else ""
+        return f'    n{node.nid} [label="{label}" style=filled fillcolor="{color}"{pen}];'
+
+    if cycle_of:
+        by_cycle: dict[int, list] = {}
+        unscheduled = []
+        for node in graph:
+            if node.nid in cycle_of:
+                by_cycle.setdefault(cycle_of[node.nid], []).append(node)
+            else:
+                unscheduled.append(node)
+        for cycle in sorted(by_cycle):
+            lines.append(f"  subgraph cluster_c{cycle} {{")
+            lines.append(f'    label="cycle {cycle}";')
+            for node in by_cycle[cycle]:
+                lines.append(node_line(node))
+            lines.append("  }")
+        for node in unscheduled:
+            lines.append(node_line(node))
+    else:
+        for node in graph:
+            lines.append(node_line(node))
+
+    for node in graph:
+        for op in node.operands:
+            style = "" if op.distance == 0 else f' [style=dashed label="d={op.distance}"]'
+            lines.append(f"  n{op.source} -> n{node.nid}{style};")
+    lines.append("}")
+    return "\n".join(lines)

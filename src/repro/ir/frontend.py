@@ -1,0 +1,310 @@
+"""A tiny hardware-kernel language compiled to CDFGs.
+
+The paper compiles C benchmarks through LLVM; here a small, explicit kernel
+language plays that role so that examples and tests can describe dataflow
+textually. Example::
+
+    input a : 8
+    input b : 8
+    reg acc : 8 init 0
+    t = (a ^ b) >> 1
+    c = t >= 0x40
+    nxt = mux(c, acc ^ t, acc + t)
+    acc <= nxt
+    output nxt : result
+
+Statements
+----------
+``input NAME : WIDTH``
+    Declare a primary input.
+``reg NAME : WIDTH init VALUE``
+    Declare a loop-carried register (a recurrence with distance 1).
+``NAME = EXPR``
+    Bind an intermediate value.
+``NAME <= EXPR``
+    Close the recurrence ``NAME`` with producer ``EXPR``.
+``output EXPR [: NAME]``
+    Declare a primary output.
+
+Expressions support ``| ^ & + -`` (left-assoc, usual precedence), ``~``,
+comparisons ``== != < >= <s >=s``, constant shifts ``<< >>``, bit slices
+``x[hi:lo]`` and ``x[i]``, calls ``mux(c,a,b)``, ``zext(x,w)``,
+``trunc(x,w)``, ``load(addr,w)``, ``mul(a,b)``, integer literals
+(``0x..`` hex or decimal), and parentheses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import FrontendError
+from .builder import DFGBuilder, Value
+from .graph import CDFG
+
+__all__ = ["compile_kernel"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=s|>=s|<s|<<|>>|<=|>=|==|!=|[()\[\]:,=~^&|+\-<])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    line: int
+
+
+def _tokenize_line(text: str, line_no: int) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise FrontendError(f"line {line_no}: cannot tokenize at {text[pos:pos+10]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append(_Token(kind, m.group(), line_no))
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent parser over one statement's tokens."""
+
+    # precedence: | < ^ < & < (== !=) < (< >= <s >=s) < (<< >>) < (+ -) < unary
+    def __init__(self, tokens: list[_Token], env: dict[str, Value],
+                 builder: DFGBuilder, line: int) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.env = env
+        self.builder = builder
+        self.line = line
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, text: str | None = None) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise FrontendError(f"line {self.line}: unexpected end of statement")
+        if text is not None and tok.text != text:
+            raise FrontendError(f"line {self.line}: expected {text!r}, got {tok.text!r}")
+        self.pos += 1
+        return tok
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # each level returns a Value or int literal (ints are coerced lazily so
+    # widths come from the Value side of a binary op)
+    def parse(self) -> "Value | int":
+        return self._or()
+
+    def _binary(self, sub, ops: dict[str, str]):
+        left = sub()
+        while (tok := self.peek()) is not None and tok.text in ops:
+            self.take()
+            right = sub()
+            left = self._apply(ops[tok.text], left, right)
+        return left
+
+    def _or(self):
+        return self._binary(self._xor, {"|": "or"})
+
+    def _xor(self):
+        return self._binary(self._and, {"^": "xor"})
+
+    def _and(self):
+        return self._binary(self._eqne, {"&": "and"})
+
+    def _eqne(self):
+        return self._binary(self._rel, {"==": "eq", "!=": "ne"})
+
+    def _rel(self):
+        return self._binary(self._shift, {"<": "lt", ">=": "ge",
+                                          "<s": "slt", ">=s": "sge"})
+
+    def _shift(self):
+        left = self._sum()
+        while (tok := self.peek()) is not None and tok.text in ("<<", ">>"):
+            self.take()
+            amount = self._sum()
+            if not isinstance(amount, int):
+                raise FrontendError(
+                    f"line {self.line}: shift amounts must be integer literals"
+                )
+            left = self._as_value(left)
+            left = left << amount if tok.text == "<<" else left >> amount
+        return left
+
+    def _sum(self):
+        return self._binary(self._unary, {"+": "add", "-": "sub"})
+
+    def _unary(self):
+        tok = self.peek()
+        if tok is not None and tok.text == "~":
+            self.take()
+            return ~self._as_value(self._unary())
+        if tok is not None and tok.text == "-":
+            self.take()
+            return -self._as_value(self._unary())
+        return self._postfix()
+
+    def _postfix(self):
+        value = self._atom()
+        while (tok := self.peek()) is not None and tok.text == "[":
+            self.take("[")
+            hi = self.take()
+            if hi.kind != "num":
+                raise FrontendError(f"line {self.line}: slice bounds must be literals")
+            hi_v = int(hi.text, 0)
+            if self.peek() is not None and self.peek().text == ":":
+                self.take(":")
+                lo = self.take()
+                if lo.kind != "num":
+                    raise FrontendError(f"line {self.line}: slice bounds must be literals")
+                lo_v = int(lo.text, 0)
+            else:
+                lo_v = hi_v
+            self.take("]")
+            value = self._as_value(value).slice(lo_v, hi_v - lo_v + 1)
+        return value
+
+    def _atom(self):
+        tok = self.take()
+        if tok.text == "(":
+            inner = self.parse()
+            self.take(")")
+            return inner
+        if tok.kind == "num":
+            return int(tok.text, 0)
+        if tok.kind == "name":
+            nxt = self.peek()
+            if nxt is not None and nxt.text == "(":
+                return self._call(tok.text)
+            if tok.text not in self.env:
+                raise FrontendError(f"line {self.line}: undefined name {tok.text!r}")
+            return self.env[tok.text]
+        raise FrontendError(f"line {self.line}: unexpected token {tok.text!r}")
+
+    def _call(self, fname: str):
+        self.take("(")
+        args: list[Value | int] = []
+        if self.peek() is not None and self.peek().text != ")":
+            args.append(self.parse())
+            while self.peek() is not None and self.peek().text == ",":
+                self.take(",")
+                args.append(self.parse())
+        self.take(")")
+        b = self.builder
+        if fname == "mux" and len(args) == 3:
+            return b.mux(args[0], self._as_value(args[1]), self._as_value(args[2]))
+        if fname == "zext" and len(args) == 2 and isinstance(args[1], int):
+            return self._as_value(args[0]).zext(args[1])
+        if fname == "trunc" and len(args) == 2 and isinstance(args[1], int):
+            return self._as_value(args[0]).trunc(args[1])
+        if fname == "load" and len(args) == 2 and isinstance(args[1], int):
+            return b.load(self._as_value(args[0]), width=args[1])
+        if fname == "mul" and len(args) == 2:
+            return self._as_value(args[0]) * args[1]
+        raise FrontendError(f"line {self.line}: unknown call {fname}({len(args)} args)")
+
+    def _apply(self, opname: str, left, right):
+        if isinstance(left, int) and isinstance(right, int):
+            raise FrontendError(
+                f"line {self.line}: at least one operand of {opname} must be a value"
+            )
+        if isinstance(left, int):
+            # Materialize the literal at the value operand's width; swapping
+            # would be wrong for non-commutative operations like `-`.
+            left = self.builder.const(left, right.width)
+        method = {
+            "or": left.__or__, "xor": left.__xor__, "and": left.__and__,
+            "add": left.__add__, "sub": left.__sub__,
+            "eq": left.eq, "ne": left.ne, "lt": left.lt, "ge": left.ge,
+            "slt": left.slt, "sge": left.sge,
+        }[opname]
+        return method(right)
+
+    def _as_value(self, x: "Value | int") -> Value:
+        if isinstance(x, Value):
+            return x
+        return self.builder.const(x)
+
+
+def compile_kernel(source: str, name: str = "kernel",
+                   default_width: int = 32) -> CDFG:
+    """Compile kernel-language source text into a validated :class:`CDFG`."""
+    builder = DFGBuilder(name, width=default_width)
+    env: dict[str, Value] = {}
+    regs: dict[str, Value] = {}
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        tokens = _tokenize_line(raw, line_no)
+        if not tokens:
+            continue
+        head = tokens[0]
+
+        if head.text == "input":
+            if len(tokens) != 4 or tokens[2].text != ":" or tokens[3].kind != "num":
+                raise FrontendError(f"line {line_no}: expected 'input NAME : WIDTH'")
+            nm = tokens[1].text
+            env[nm] = builder.input(nm, int(tokens[3].text, 0))
+            continue
+
+        if head.text == "reg":
+            if (len(tokens) != 6 or tokens[2].text != ":" or tokens[3].kind != "num"
+                    or tokens[4].text != "init" or tokens[5].kind != "num"):
+                raise FrontendError(
+                    f"line {line_no}: expected 'reg NAME : WIDTH init VALUE'"
+                )
+            nm = tokens[1].text
+            reg = builder.recurrence(nm, int(tokens[3].text, 0),
+                                     initial=int(tokens[5].text, 0))
+            env[nm] = reg
+            regs[nm] = reg
+            continue
+
+        if head.text == "output":
+            parser = _ExprParser(tokens[1:], env, builder, line_no)
+            value = parser._as_value(parser.parse())
+            out_name = "out"
+            if not parser.at_end():
+                parser.take(":")
+                out_name = parser.take().text
+            if not parser.at_end():
+                raise FrontendError(f"line {line_no}: trailing tokens")
+            builder.output(value, out_name)
+            continue
+
+        if head.kind == "name" and len(tokens) >= 2 and tokens[1].text in ("=", "<="):
+            assign_op = tokens[1].text
+            parser = _ExprParser(tokens[2:], env, builder, line_no)
+            value = parser._as_value(parser.parse())
+            if not parser.at_end():
+                raise FrontendError(f"line {line_no}: trailing tokens")
+            if assign_op == "=":
+                if head.text in regs:
+                    raise FrontendError(
+                        f"line {line_no}: use '<=' to update register {head.text!r}"
+                    )
+                env[head.text] = value
+            else:
+                if head.text not in regs:
+                    raise FrontendError(f"line {line_no}: {head.text!r} is not a reg")
+                value.feed(regs[head.text])
+            continue
+
+        raise FrontendError(f"line {line_no}: cannot parse statement {raw.strip()!r}")
+
+    return builder.build()

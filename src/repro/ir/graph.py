@@ -1,0 +1,247 @@
+"""The control data-flow graph (CDFG) container.
+
+A :class:`CDFG` holds word-level operations (:class:`~repro.ir.node.Node`)
+connected by dependence edges with iteration distances. Distance-0 edges must
+form a DAG (combinational dependences within one loop iteration); edges with
+distance >= 1 close loop-carried recurrences and may create cycles, exactly as
+in the paper's Figure 2 (nodes D and E).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+import networkx as nx
+
+from ..errors import IRError, ValidationError
+from .node import Node, Operand
+from .types import OpKind
+
+__all__ = ["CDFG", "Use"]
+
+
+@dataclass(frozen=True)
+class Use:
+    """One use of a node's value: consumer id, operand slot, and distance."""
+
+    consumer: int
+    operand_index: int
+    distance: int
+
+
+class CDFG:
+    """A word-level control data-flow graph for one pipelined loop body.
+
+    The graph is the unit of work for cut enumeration and scheduling: its
+    nodes are the operations of one loop iteration, and loop-carried values
+    are expressed as operand edges with ``distance >= 1``.
+    """
+
+    def __init__(self, name: str = "cdfg") -> None:
+        self.name = name
+        self._nodes: dict[int, Node] = {}
+        self._next_id = 0
+        self._uses: dict[int, list[Use]] = {}
+        self._topo_cache: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        kind: OpKind,
+        width: int,
+        operands: Iterable[Operand | int] = (),
+        **attrs: Any,
+    ) -> Node:
+        """Create a node and wire its operand edges.
+
+        Operands may be given as :class:`Operand` objects or bare node ids
+        (meaning distance 0). Sources must already exist in the graph —
+        except for loop-carried (distance >= 1) operands, which may point
+        forward to nodes added later; use :meth:`set_operand` to patch
+        recurrences, or pass the id once the source exists.
+        """
+        ops: list[Operand] = []
+        for op in operands:
+            if isinstance(op, int):
+                op = Operand(op)
+            if op.source not in self._nodes and op.distance == 0:
+                raise IRError(f"operand source {op.source} not in graph")
+            ops.append(op)
+        node = Node(nid=self._next_id, kind=kind, width=width, operands=ops, **attrs)
+        self._nodes[node.nid] = node
+        self._uses.setdefault(node.nid, [])
+        self._next_id += 1
+        self._invalidate()
+        return node
+
+    def set_operand(self, nid: int, index: int, operand: Operand | int) -> None:
+        """Replace operand ``index`` of node ``nid`` (used to close cycles)."""
+        if isinstance(operand, int):
+            operand = Operand(operand)
+        node = self.node(nid)
+        if not 0 <= index < len(node.operands):
+            raise IRError(f"node {nid} has no operand {index}")
+        node.operands[index] = operand
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._topo_cache = None
+        self._uses_valid = False
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def node(self, nid: int) -> Node:
+        """Return the node with id ``nid`` (raises :class:`IRError` if absent)."""
+        try:
+            return self._nodes[nid]
+        except KeyError:
+            raise IRError(f"no node with id {nid}") from None
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All node ids in insertion order."""
+        return list(self._nodes)
+
+    def nodes_of_kind(self, *kinds: OpKind) -> list[Node]:
+        """All nodes whose kind is one of ``kinds``, in insertion order."""
+        wanted = set(kinds)
+        return [n for n in self._nodes.values() if n.kind in wanted]
+
+    @property
+    def inputs(self) -> list[Node]:
+        """Primary input nodes."""
+        return self.nodes_of_kind(OpKind.INPUT)
+
+    @property
+    def outputs(self) -> list[Node]:
+        """Primary output nodes."""
+        return self.nodes_of_kind(OpKind.OUTPUT)
+
+    @property
+    def constants(self) -> list[Node]:
+        """Constant nodes."""
+        return self.nodes_of_kind(OpKind.CONST)
+
+    def uses(self, nid: int) -> list[Use]:
+        """All uses of node ``nid`` as (consumer, slot, distance) triples."""
+        self._rebuild_uses()
+        return list(self._uses.get(nid, ()))
+
+    def successor_ids(self, nid: int) -> list[int]:
+        """Unique consumer node ids of ``nid`` (any distance)."""
+        seen: dict[int, None] = {}
+        for use in self.uses(nid):
+            seen.setdefault(use.consumer, None)
+        return list(seen)
+
+    def _rebuild_uses(self) -> None:
+        if getattr(self, "_uses_valid", False):
+            return
+        uses: dict[int, list[Use]] = {nid: [] for nid in self._nodes}
+        for node in self._nodes.values():
+            for idx, op in enumerate(node.operands):
+                if op.source in uses:
+                    uses[op.source].append(Use(node.nid, idx, op.distance))
+        self._uses = uses
+        self._uses_valid = True
+
+    # ------------------------------------------------------------------
+    # Orderings and structure
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[int]:
+        """Node ids in topological order over distance-0 edges.
+
+        Loop-carried edges are ignored for ordering purposes (their values
+        come from a previous iteration, so they impose no intra-iteration
+        order). Raises :class:`ValidationError` on a combinational cycle.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indeg: dict[int, int] = {nid: 0 for nid in self._nodes}
+        for node in self._nodes.values():
+            for op in node.operands:
+                if op.distance == 0 and op.source in self._nodes:
+                    indeg[node.nid] += 1
+        queue = deque(nid for nid, d in indeg.items() if d == 0)
+        order: list[int] = []
+        while queue:
+            nid = queue.popleft()
+            order.append(nid)
+            for use in self.uses(nid):
+                if use.distance == 0:
+                    indeg[use.consumer] -= 1
+                    if indeg[use.consumer] == 0:
+                        queue.append(use.consumer)
+        if len(order) != len(self._nodes):
+            cyclic = sorted(set(self._nodes) - set(order))
+            raise ValidationError(f"combinational cycle through nodes {cyclic[:10]}")
+        self._topo_cache = order
+        return list(order)
+
+    def to_networkx(self, include_back_edges: bool = True) -> nx.MultiDiGraph:
+        """Export to a networkx multigraph (edge attr ``distance``)."""
+        g = nx.MultiDiGraph(name=self.name)
+        for node in self._nodes.values():
+            g.add_node(node.nid, kind=node.kind.value, width=node.width)
+        for node in self._nodes.values():
+            for op in node.operands:
+                if op.distance == 0 or include_back_edges:
+                    g.add_edge(op.source, node.nid, distance=op.distance)
+        return g
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def op_histogram(self) -> Counter[str]:
+        """Count of nodes per kind name (for reports and Table 2 sizes)."""
+        return Counter(node.kind.value for node in self._nodes.values())
+
+    @property
+    def num_operations(self) -> int:
+        """Number of non-boundary nodes (the paper's "instruction" count)."""
+        return sum(1 for n in self._nodes.values() if not n.is_boundary)
+
+    def total_bits(self) -> int:
+        """Sum of widths over all non-boundary nodes."""
+        return sum(n.width for n in self._nodes.values() if not n.is_boundary)
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "CDFG":
+        """Deep-copy the graph (nodes are re-created, ids preserved)."""
+        clone = CDFG(name or self.name)
+        clone._next_id = self._next_id
+        for node in self._nodes.values():
+            clone._nodes[node.nid] = Node(
+                nid=node.nid,
+                kind=node.kind,
+                width=node.width,
+                operands=list(node.operands),
+                name=node.name,
+                value=node.value,
+                amount=node.amount,
+                rclass=node.rclass,
+                delay_override=node.delay_override,
+                signed=node.signed,
+                attrs=dict(node.attrs),
+            )
+        clone._invalidate()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CDFG({self.name!r}, {len(self)} nodes, {self.num_operations} ops)"

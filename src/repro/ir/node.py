@@ -1,0 +1,130 @@
+"""Node and operand objects for the word-level CDFG."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import IRError
+from .types import OpClass, OpKind, arity_of, op_class_of
+
+__all__ = ["Operand", "Node"]
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A dependence edge endpoint: which node feeds this operand, and at
+    what iteration distance.
+
+    ``distance == 0`` is an intra-iteration (combinational) dependence;
+    ``distance >= 1`` is a loop-carried dependence whose value crosses at
+    least one pipeline-register boundary (footnote 1 of the paper).
+    """
+
+    source: int
+    distance: int = 0
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            raise IRError(f"negative dependence distance {self.distance}")
+
+
+@dataclass
+class Node:
+    """One word-level operation in the CDFG.
+
+    Attributes
+    ----------
+    nid:
+        Unique integer id within the graph.
+    kind:
+        The operation performed.
+    width:
+        Number of output bits (``Bits(v)`` in the paper's Eq. 13/15).
+    operands:
+        Ordered dependence edges. Their order is semantically meaningful
+        (e.g. ``SUB`` is ``operands[0] - operands[1]``).
+    name:
+        Optional human-readable label used in reports and DOT dumps.
+    value:
+        Constant value for ``CONST`` nodes.
+    amount:
+        Shift amount for ``SHL``/``SHR``, low bit for ``SLICE``.
+    rclass:
+        Resource class for black-box operations (Eq. 14); e.g. ``"mem_port"``.
+    delay_override:
+        If set, used instead of the device delay model for this node —
+        this is how "back-annotated" delays from the HLS schedule report
+        enter the flow (Sec. 4).
+    signed:
+        Whether the value should be interpreted as two's-complement by
+        the functional simulator and by sign-dependent DEP refinements.
+    attrs:
+        Free-form metadata (used by frontends and experiments).
+    """
+
+    nid: int
+    kind: OpKind
+    width: int
+    operands: list[Operand] = field(default_factory=list)
+    name: str | None = None
+    value: int | None = None
+    amount: int | None = None
+    rclass: str | None = None
+    delay_override: float | None = None
+    signed: bool = False
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise IRError(f"node {self.nid}: width must be positive, got {self.width}")
+        arity = arity_of(self.kind)
+        if arity is not None and len(self.operands) != arity:
+            raise IRError(
+                f"node {self.nid} ({self.kind.value}): expected {arity} operands, "
+                f"got {len(self.operands)}"
+            )
+        if self.kind is OpKind.CONST and self.value is None:
+            raise IRError(f"node {self.nid}: CONST requires a value")
+        if self.kind in (OpKind.SHL, OpKind.SHR, OpKind.SLICE) and self.amount is None:
+            raise IRError(f"node {self.nid}: {self.kind.value} requires an amount")
+        if self.kind in (OpKind.SHL, OpKind.SHR, OpKind.SLICE) and self.amount < 0:
+            raise IRError(f"node {self.nid}: negative amount {self.amount}")
+
+    @property
+    def op_class(self) -> OpClass:
+        """The coarse operation class (drives DEP tracking)."""
+        return op_class_of(self.kind)
+
+    @property
+    def is_boundary(self) -> bool:
+        """True for INPUT/CONST/OUTPUT nodes."""
+        return self.op_class is OpClass.BOUNDARY
+
+    @property
+    def is_blackbox(self) -> bool:
+        """True for operations that are never mapped to LUTs."""
+        return self.op_class is OpClass.BLACKBOX
+
+    @property
+    def is_mappable(self) -> bool:
+        """True if cut enumeration may grow cones rooted at (or through) v."""
+        return not self.is_boundary and not self.is_blackbox
+
+    @property
+    def source_ids(self) -> list[int]:
+        """The operand source node ids, in operand order."""
+        return [op.source for op in self.operands]
+
+    @property
+    def label(self) -> str:
+        """A short display label: the name if set, else ``kind#id``."""
+        if self.name:
+            return self.name
+        return f"{self.kind.value}#{self.nid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ops = ", ".join(
+            f"{o.source}" + (f"@{o.distance}" if o.distance else "") for o in self.operands
+        )
+        return f"Node({self.nid}: {self.kind.value}[{self.width}] <- [{ops}])"

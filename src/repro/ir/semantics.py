@@ -1,0 +1,109 @@
+"""Word-level operation semantics.
+
+A single place defines what every :class:`~repro.ir.types.OpKind` computes.
+It is shared by the functional simulator, the cycle-accurate pipeline
+simulator, the constant folder, and the Verilog emitter's self-checks, so a
+semantic bug cannot hide in just one consumer.
+
+All values are Python ints in ``[0, 2**width)``; signed interpretation is
+applied locally where an operation requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import SimulationError
+from .node import Node
+from .types import OpKind
+
+__all__ = ["mask", "to_signed", "eval_node"]
+
+
+def mask(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (two's-complement wrap)."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Reinterpret an unsigned ``width``-bit value as two's-complement."""
+    sign_bit = 1 << (width - 1)
+    return value - (1 << width) if value & sign_bit else value
+
+
+def eval_node(node: Node, args: Sequence[int], widths: Sequence[int]) -> int:
+    """Evaluate ``node`` given operand values ``args`` of bit widths ``widths``.
+
+    Black-box memory operations are *not* evaluated here — the simulator
+    provides a memory model for them; calling this on LOAD/STORE raises.
+    """
+    kind = node.kind
+    w = node.width
+
+    if kind is OpKind.CONST:
+        return mask(int(node.value), w)
+    if kind is OpKind.INPUT:
+        raise SimulationError(f"input node {node.nid} has no intrinsic value")
+    if kind is OpKind.OUTPUT:
+        return mask(args[0], w)
+
+    if kind is OpKind.AND:
+        return mask(args[0] & args[1], w)
+    if kind is OpKind.OR:
+        return mask(args[0] | args[1], w)
+    if kind is OpKind.XOR:
+        return mask(args[0] ^ args[1], w)
+    if kind is OpKind.NOT:
+        return mask(~args[0], w)
+    if kind is OpKind.MUX:
+        return mask(args[1] if args[0] & 1 else args[2], w)
+
+    if kind is OpKind.SHL:
+        return mask(args[0] << node.amount, w)
+    if kind is OpKind.SHR:
+        return mask(args[0] >> node.amount, w)
+    if kind is OpKind.TRUNC:
+        return mask(args[0], w)
+    if kind is OpKind.ZEXT:
+        return mask(args[0], w)
+    if kind is OpKind.SLICE:
+        return mask(args[0] >> node.amount, w)
+    if kind is OpKind.CONCAT:
+        lo, hi = args
+        return mask(lo | (hi << widths[0]), w)
+
+    if kind is OpKind.ADD:
+        return mask(args[0] + args[1], w)
+    if kind is OpKind.SUB:
+        return mask(args[0] - args[1], w)
+    if kind is OpKind.NEG:
+        return mask(-args[0], w)
+    if kind is OpKind.EQ:
+        return int(args[0] == args[1])
+    if kind is OpKind.NE:
+        return int(args[0] != args[1])
+    if kind is OpKind.LT:
+        return int(args[0] < args[1])
+    if kind is OpKind.GE:
+        return int(args[0] >= args[1])
+    if kind is OpKind.SLT:
+        return int(to_signed(args[0], widths[0]) < to_signed(args[1], widths[1]))
+    if kind is OpKind.SGE:
+        return int(to_signed(args[0], widths[0]) >= to_signed(args[1], widths[1]))
+    if kind is OpKind.VSHL:
+        return mask(args[0] << min(args[1], w), w)
+    if kind is OpKind.VSHR:
+        return mask(args[0] >> min(args[1], w), w)
+
+    if kind is OpKind.MUL:
+        return mask(args[0] * args[1], w)
+    if kind is OpKind.DIV:
+        if args[1] == 0:
+            raise SimulationError(f"node {node.nid}: division by zero")
+        return mask(args[0] // args[1], w)
+    if kind is OpKind.MOD:
+        if args[1] == 0:
+            raise SimulationError(f"node {node.nid}: modulo by zero")
+        return mask(args[0] % args[1], w)
+
+    raise SimulationError(f"cannot evaluate {kind.value} node {node.nid} directly")

@@ -1,0 +1,117 @@
+"""JSON (de)serialization for CDFGs.
+
+Lets users save generated kernels, ship reproducers, and diff designs.
+The format is versioned and intentionally explicit — one object per node
+with every semantic field; ``attrs`` round-trips as-is (values must be
+JSON-serializable, which all library-set attrs are).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import IRError
+from .graph import CDFG
+from .node import Operand
+from .types import OpKind
+from .validate import validate
+
+__all__ = ["graph_to_dict", "graph_from_dict", "dumps", "loads",
+           "save_graph", "load_graph"]
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: CDFG) -> dict[str, Any]:
+    """Serialize to a plain dict (stable key order for clean diffs)."""
+    nodes = []
+    for nid in graph.node_ids:
+        node = graph.node(nid)
+        entry: dict[str, Any] = {
+            "id": node.nid,
+            "kind": node.kind.value,
+            "width": node.width,
+            "operands": [[op.source, op.distance] for op in node.operands],
+        }
+        if node.name is not None:
+            entry["name"] = node.name
+        if node.value is not None:
+            entry["value"] = node.value
+        if node.amount is not None:
+            entry["amount"] = node.amount
+        if node.rclass is not None:
+            entry["rclass"] = node.rclass
+        if node.delay_override is not None:
+            entry["delay_override"] = node.delay_override
+        if node.signed:
+            entry["signed"] = True
+        if node.attrs:
+            entry["attrs"] = dict(node.attrs)
+        nodes.append(entry)
+    return {"format": FORMAT_VERSION, "name": graph.name, "nodes": nodes}
+
+
+def graph_from_dict(data: dict[str, Any], check: bool = True) -> CDFG:
+    """Deserialize; validates structure unless ``check=False``."""
+    if data.get("format") != FORMAT_VERSION:
+        raise IRError(f"unsupported CDFG format {data.get('format')!r}")
+    graph = CDFG(data.get("name", "cdfg"))
+    entries = data.get("nodes", [])
+    # First pass: create nodes in id order with placeholder operands so
+    # arbitrary forward references deserialize cleanly.
+    by_id = sorted(entries, key=lambda e: e["id"])
+    expected = 0
+    for entry in by_id:
+        if entry["id"] != expected:
+            raise IRError(
+                f"node ids must be dense starting at 0; missing {expected}"
+            )
+        expected += 1
+        node = graph.add_node(
+            OpKind(entry["kind"]),
+            entry["width"],
+            operands=[Operand(op[0], op[1]) for op in entry["operands"]]
+            if all(op[1] > 0 or op[0] < entry["id"]
+                   for op in entry["operands"]) else [],
+            name=entry.get("name"),
+            value=entry.get("value"),
+            amount=entry.get("amount"),
+            rclass=entry.get("rclass"),
+            delay_override=entry.get("delay_override"),
+            signed=entry.get("signed", False),
+            attrs=dict(entry.get("attrs", {})),
+        )
+        if not node.operands and entry["operands"]:
+            # second chance below once every node exists
+            node.attrs["_pending_operands"] = entry["operands"]
+    for node in graph:
+        pending = node.attrs.pop("_pending_operands", None)
+        if pending is not None:
+            node.operands.extend(Operand(op[0], op[1]) for op in pending)
+    graph._invalidate()
+    if check:
+        validate(graph)
+    return graph
+
+
+def dumps(graph: CDFG, indent: int | None = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def loads(text: str, check: bool = True) -> CDFG:
+    """Deserialize from a JSON string."""
+    return graph_from_dict(json.loads(text), check=check)
+
+
+def save_graph(graph: CDFG, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(graph))
+
+
+def load_graph(path: str, check: bool = True) -> CDFG:
+    """Read a graph from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read(), check=check)

@@ -1,0 +1,306 @@
+"""CDFG transformation passes.
+
+These mirror the "compilation and other optimizations" that run before the
+scheduler in the paper's flow (Sec. 4): dead-code elimination, constant
+folding, common-subexpression elimination, and balancing of reduction trees
+(the optimization the commercial tool applied to XORR in Sec. 4.1).
+
+Every pass returns a *new* graph; inputs are never mutated. Node ids are not
+preserved across passes — passes return an id mapping where callers need it.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from .graph import CDFG
+from .node import Node, Operand
+from .semantics import eval_node
+from .types import COMMUTATIVE_KINDS, OpKind
+
+__all__ = [
+    "eliminate_dead_code",
+    "fold_constants",
+    "eliminate_common_subexpressions",
+    "balance_reduction_trees",
+    "rebuild",
+]
+
+
+def rebuild(graph: CDFG, keep: set[int] | None = None,
+            name: str | None = None) -> tuple[CDFG, dict[int, int]]:
+    """Re-create ``graph`` with dense ids, optionally dropping nodes.
+
+    Returns ``(new_graph, old_id -> new_id)``. Nodes in ``keep`` (default:
+    all) are copied in topological order, so the result always has ids
+    consistent with one valid topological order — a property several
+    downstream consumers rely on for determinism.
+    """
+    keep_ids = set(graph.node_ids) if keep is None else set(keep)
+    order = [nid for nid in graph.topological_order() if nid in keep_ids]
+    out = CDFG(name or graph.name)
+    mapping: dict[int, int] = {}
+    for nid in order:
+        old = graph.node(nid)
+        operands = []
+        for op in old.operands:
+            if op.source not in keep_ids:
+                raise IRError(
+                    f"cannot drop node {op.source}: still used by {nid}"
+                )
+            # Loop-carried sources may appear later in topological order;
+            # CDFG.add_node permits forward references for distance >= 1.
+            mapped = mapping.get(op.source, None)
+            operands.append(Operand(mapped if mapped is not None else -op.source - 1,
+                                    op.distance))
+        new = out.add_node(
+            old.kind,
+            old.width,
+            operands=operands,
+            name=old.name,
+            value=old.value,
+            amount=old.amount,
+            rclass=old.rclass,
+            delay_override=old.delay_override,
+            signed=old.signed,
+            attrs=dict(old.attrs),
+        )
+        mapping[nid] = new.nid
+    # Patch forward (loop-carried) references now that all ids are known.
+    for node in out:
+        for idx, op in enumerate(node.operands):
+            if op.source < 0:
+                original = -op.source - 1
+                node.operands[idx] = Operand(mapping[original], op.distance)
+    out._invalidate()
+    return out, mapping
+
+
+def eliminate_dead_code(graph: CDFG) -> tuple[CDFG, dict[int, int]]:
+    """Drop operations that do not (transitively) reach a primary output."""
+    live: set[int] = set()
+    stack = [out.nid for out in graph.outputs]
+    while stack:
+        nid = stack.pop()
+        if nid in live:
+            continue
+        live.add(nid)
+        for op in graph.node(nid).operands:
+            stack.append(op.source)
+    # Keep unused primary inputs: they are part of the interface.
+    for node in graph.inputs:
+        live.add(node.nid)
+    return rebuild(graph, keep=live)
+
+
+def fold_constants(graph: CDFG) -> tuple[CDFG, dict[int, int]]:
+    """Evaluate operations whose operands are all constants.
+
+    Loop-carried operands block folding (their value varies by iteration).
+    Black-box operations are never folded.
+    """
+    out = CDFG(graph.name)
+    mapping: dict[int, int] = {}
+    const_value: dict[int, int] = {}
+    const_cache: dict[tuple[int, int], int] = {}
+
+    def emit_const(value: int, width: int) -> int:
+        key = (value, width)
+        if key not in const_cache:
+            node = out.add_node(OpKind.CONST, width, value=value)
+            const_cache[key] = node.nid
+        return const_cache[key]
+
+    for nid in graph.topological_order():
+        old = graph.node(nid)
+        foldable = (
+            not old.is_boundary
+            and not old.is_blackbox
+            and old.operands
+            and all(op.distance == 0 for op in old.operands)
+            and all(op.source in const_value for op in old.operands)
+        )
+        if old.kind is OpKind.CONST:
+            new_id = emit_const(old.value, old.width)
+            mapping[nid] = new_id
+            const_value[nid] = old.value
+            continue
+        if foldable:
+            args = [const_value[op.source] for op in old.operands]
+            widths = [graph.node(op.source).width for op in old.operands]
+            value = eval_node(old, args, widths)
+            mapping[nid] = emit_const(value, old.width)
+            const_value[nid] = value
+            continue
+        operands = [
+            Operand(mapping[op.source] if op.distance == 0 else -op.source - 1,
+                    op.distance)
+            for op in old.operands
+        ]
+        new = out.add_node(
+            old.kind, old.width, operands=operands,
+            name=old.name, value=old.value, amount=old.amount,
+            rclass=old.rclass, delay_override=old.delay_override,
+            signed=old.signed, attrs=dict(old.attrs),
+        )
+        mapping[nid] = new.nid
+
+    for node in out:
+        for idx, op in enumerate(node.operands):
+            if op.source < 0:
+                node.operands[idx] = Operand(mapping[-op.source - 1], op.distance)
+    out._invalidate()
+    # Folding can orphan constant producers; clean them up.
+    out, second = eliminate_dead_code(out)
+    mapping = {k: second[v] for k, v in mapping.items() if v in second}
+    return out, mapping
+
+
+def eliminate_common_subexpressions(graph: CDFG) -> tuple[CDFG, dict[int, int]]:
+    """Merge structurally identical operations (value numbering).
+
+    Two nodes merge when they have the same kind, width, static attributes
+    and (canonically ordered, for commutative kinds) operand edges. Nodes
+    with loop-carried operands participate too — the key includes distances.
+    Black boxes never merge (two LOADs may read different memory states).
+    """
+    out = CDFG(graph.name)
+    mapping: dict[int, int] = {}
+    table: dict[tuple, int] = {}
+
+    deferred: list[tuple[int, Node]] = []
+    for nid in graph.topological_order():
+        old = graph.node(nid)
+        operands = []
+        for op in old.operands:
+            if op.distance == 0:
+                operands.append(Operand(mapping[op.source], 0))
+            else:
+                operands.append(Operand(-op.source - 1, op.distance))
+        key_ops = [(o.source, o.distance) for o in operands]
+        if old.kind in COMMUTATIVE_KINDS and len(key_ops) == 2:
+            key_ops = sorted(key_ops)
+        mergeable = (
+            not old.is_blackbox
+            and old.kind not in (OpKind.INPUT, OpKind.OUTPUT)
+            and all(o.source >= 0 for o in operands)
+            and not old.attrs.get("recurrence")
+        )
+        key = (old.kind, old.width, old.value, old.amount, old.signed,
+               tuple(key_ops))
+        if mergeable and key in table:
+            mapping[nid] = table[key]
+            continue
+        new = out.add_node(
+            old.kind, old.width, operands=operands,
+            name=old.name, value=old.value, amount=old.amount,
+            rclass=old.rclass, delay_override=old.delay_override,
+            signed=old.signed, attrs=dict(old.attrs),
+        )
+        mapping[nid] = new.nid
+        if mergeable:
+            table[key] = new.nid
+        if any(o.source < 0 for o in operands):
+            deferred.append((nid, new))
+
+    for _, node in deferred:
+        for idx, op in enumerate(node.operands):
+            if op.source < 0:
+                node.operands[idx] = Operand(mapping[-op.source - 1], op.distance)
+    out._invalidate()
+    return out, mapping
+
+
+def balance_reduction_trees(graph: CDFG) -> tuple[CDFG, dict[int, int]]:
+    """Rebalance chains of one associative-commutative op into trees.
+
+    A chain ``((a ^ b) ^ c) ^ d`` of depth 3 becomes ``(a^b) ^ (c^d)`` of
+    depth 2. Only single-fanout interior links of the same kind/width with
+    distance-0 edges are collapsed, which keeps semantics and interface
+    intact. This reproduces what the commercial tool did to XORR (Sec 4.1:
+    "optimized by the HLS tool into a reduction tree").
+    """
+    assoc = {OpKind.XOR, OpKind.AND, OpKind.OR, OpKind.ADD}
+    out = CDFG(graph.name)
+    mapping: dict[int, int] = {}
+
+    def collect_leaves(nid: int, kind: OpKind, width: int,
+                       root: int) -> list[int] | None:
+        node = graph.node(nid)
+        if (node.kind is not kind or node.width != width
+                or (nid != root and len(graph.uses(nid)) != 1)
+                or node.attrs.get("recurrence")):
+            return None
+        leaves: list[int] = []
+        for op in node.operands:
+            if op.distance != 0:
+                return None
+            sub = collect_leaves(op.source, kind, width, root)
+            if sub is None:
+                leaves.append(op.source)
+            else:
+                leaves.extend(sub)
+        return leaves
+
+    consumed: set[int] = set()
+    for nid in graph.topological_order():
+        node = graph.node(nid)
+        if node.kind in assoc and nid not in consumed:
+            leaves = collect_leaves(nid, node.kind, node.width, nid)
+            if leaves is not None and len(leaves) > 2:
+                # Mark interior chain nodes as consumed.
+                stack = [nid]
+                while stack:
+                    cur = stack.pop()
+                    cnode = graph.node(cur)
+                    if cnode.kind is node.kind and cnode.width == node.width \
+                            and (cur == nid or len(graph.uses(cur)) == 1) \
+                            and not cnode.attrs.get("recurrence"):
+                        if cur != nid:
+                            consumed.add(cur)
+                        for op in cnode.operands:
+                            if op.distance == 0:
+                                stack.append(op.source)
+                node.attrs["_balance_leaves"] = leaves
+
+    for nid in graph.topological_order():
+        old = graph.node(nid)
+        if nid in consumed:
+            continue
+        leaves = old.attrs.pop("_balance_leaves", None)
+        if leaves is not None:
+            level = [mapping[leaf] for leaf in leaves]
+            while len(level) > 1:
+                nxt = []
+                for i in range(0, len(level) - 1, 2):
+                    n = out.add_node(old.kind, old.width,
+                                     operands=[level[i], level[i + 1]])
+                    nxt.append(n.nid)
+                if len(level) % 2:
+                    nxt.append(level[-1])
+                level = nxt
+            mapping[nid] = level[0]
+            root = out.node(level[0])
+            if old.name:
+                root.name = old.name
+            continue
+        operands = [
+            Operand(mapping[op.source] if op.distance == 0 else -op.source - 1,
+                    op.distance)
+            for op in old.operands
+        ]
+        new = out.add_node(
+            old.kind, old.width, operands=operands,
+            name=old.name, value=old.value, amount=old.amount,
+            rclass=old.rclass, delay_override=old.delay_override,
+            signed=old.signed, attrs=dict(old.attrs),
+        )
+        mapping[nid] = new.nid
+
+    for node in out:
+        for idx, op in enumerate(node.operands):
+            if op.source < 0:
+                node.operands[idx] = Operand(mapping[-op.source - 1], op.distance)
+    out._invalidate()
+    # Chain nodes interior to a balanced tree were dropped and have no image
+    # in the new graph; they are simply absent from the returned mapping.
+    return out, mapping

@@ -1,0 +1,173 @@
+"""Operation kinds and classes for the word-level CDFG.
+
+The paper (Sec. 3.1) partitions operations into classes that determine their
+bit-level dependence (``DEP``) behaviour:
+
+* **bitwise** — each output bit depends on the same-indexed bit of each input
+  (AND/OR/XOR/NOT, and MUX which additionally reads the 1-bit select).
+* **shift** — each output bit depends on one shifted bit of the input
+  (constant-amount shifts only; variable shifts are arithmetic-class).
+* **arith** — output bit *j* may depend on bits ``0..j`` of every input
+  (ADD/SUB) or on *all* input bits (comparisons, variable shifts, etc.).
+* **blackbox** — not mapped to LUTs at all (memory ports, DSP multiplies);
+  cut enumeration never looks inside them (Sec. 3.1, "BB operations").
+* **boundary** — primary inputs, constants and outputs; these delimit the
+  combinational fabric.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "OpClass",
+    "OpKind",
+    "COMMUTATIVE_KINDS",
+    "COMPARISON_KINDS",
+    "arity_of",
+    "op_class_of",
+]
+
+
+class OpClass(enum.Enum):
+    """Coarse operation class driving DEP tracking and cut growth."""
+
+    BOUNDARY = "boundary"
+    BITWISE = "bitwise"
+    SHIFT = "shift"
+    ARITH = "arith"
+    BLACKBOX = "blackbox"
+
+
+class OpKind(enum.Enum):
+    """Concrete word-level operation kinds supported by the IR."""
+
+    # Boundary
+    INPUT = "input"
+    CONST = "const"
+    OUTPUT = "output"
+
+    # Bitwise logic
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    MUX = "mux"  # mux(sel, a, b): sel is 1 bit; out[j] dep {sel[0], a[j], b[j]}
+
+    # Constant-amount shifts (amount stored on the node, not an operand)
+    SHL = "shl"
+    SHR = "shr"  # logical right shift
+
+    # Width adjustment (bit re-indexing; shift-like in DEP terms)
+    TRUNC = "trunc"  # keep low `width` bits
+    ZEXT = "zext"  # zero-extend to `width` bits
+    SLICE = "slice"  # out[j] = in[j + lo]; `lo` stored on the node
+    CONCAT = "concat"  # out = {hi, lo}: operand 0 is low part, operand 1 high
+
+    # Arithmetic
+    ADD = "add"
+    SUB = "sub"
+    NEG = "neg"
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"  # unsigned <
+    GE = "ge"  # unsigned >=
+    SLT = "slt"  # signed <
+    SGE = "sge"  # signed >=
+    VSHL = "vshl"  # variable-amount shifts: arithmetic class
+    VSHR = "vshr"
+
+    # Black-box operations (never LUT-mapped)
+    LOAD = "load"
+    STORE = "store"
+    MUL = "mul"  # mapped to DSP blocks on real devices
+    DIV = "div"
+    MOD = "mod"
+
+
+#: Kinds whose two data operands may be swapped without changing the result.
+COMMUTATIVE_KINDS = frozenset(
+    {OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.ADD, OpKind.EQ, OpKind.NE, OpKind.MUL}
+)
+
+#: Kinds producing a single-bit comparison result.
+COMPARISON_KINDS = frozenset(
+    {OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.GE, OpKind.SLT, OpKind.SGE}
+)
+
+_CLASS_OF: dict[OpKind, OpClass] = {
+    OpKind.INPUT: OpClass.BOUNDARY,
+    OpKind.CONST: OpClass.BOUNDARY,
+    OpKind.OUTPUT: OpClass.BOUNDARY,
+    OpKind.AND: OpClass.BITWISE,
+    OpKind.OR: OpClass.BITWISE,
+    OpKind.XOR: OpClass.BITWISE,
+    OpKind.NOT: OpClass.BITWISE,
+    OpKind.MUX: OpClass.BITWISE,
+    OpKind.SHL: OpClass.SHIFT,
+    OpKind.SHR: OpClass.SHIFT,
+    OpKind.TRUNC: OpClass.SHIFT,
+    OpKind.ZEXT: OpClass.SHIFT,
+    OpKind.SLICE: OpClass.SHIFT,
+    OpKind.CONCAT: OpClass.SHIFT,
+    OpKind.ADD: OpClass.ARITH,
+    OpKind.SUB: OpClass.ARITH,
+    OpKind.NEG: OpClass.ARITH,
+    OpKind.EQ: OpClass.ARITH,
+    OpKind.NE: OpClass.ARITH,
+    OpKind.LT: OpClass.ARITH,
+    OpKind.GE: OpClass.ARITH,
+    OpKind.SLT: OpClass.ARITH,
+    OpKind.SGE: OpClass.ARITH,
+    OpKind.VSHL: OpClass.ARITH,
+    OpKind.VSHR: OpClass.ARITH,
+    OpKind.LOAD: OpClass.BLACKBOX,
+    OpKind.STORE: OpClass.BLACKBOX,
+    OpKind.MUL: OpClass.BLACKBOX,
+    OpKind.DIV: OpClass.BLACKBOX,
+    OpKind.MOD: OpClass.BLACKBOX,
+}
+
+# Expected operand count per kind; None means "any positive number".
+_ARITY: dict[OpKind, int | None] = {
+    OpKind.INPUT: 0,
+    OpKind.CONST: 0,
+    OpKind.OUTPUT: 1,
+    OpKind.AND: 2,
+    OpKind.OR: 2,
+    OpKind.XOR: 2,
+    OpKind.NOT: 1,
+    OpKind.MUX: 3,
+    OpKind.SHL: 1,
+    OpKind.SHR: 1,
+    OpKind.TRUNC: 1,
+    OpKind.ZEXT: 1,
+    OpKind.SLICE: 1,
+    OpKind.CONCAT: 2,
+    OpKind.ADD: 2,
+    OpKind.SUB: 2,
+    OpKind.NEG: 1,
+    OpKind.EQ: 2,
+    OpKind.NE: 2,
+    OpKind.LT: 2,
+    OpKind.GE: 2,
+    OpKind.SLT: 2,
+    OpKind.SGE: 2,
+    OpKind.VSHL: 2,
+    OpKind.VSHR: 2,
+    OpKind.LOAD: 1,
+    OpKind.STORE: 2,
+    OpKind.MUL: 2,
+    OpKind.DIV: 2,
+    OpKind.MOD: 2,
+}
+
+
+def op_class_of(kind: OpKind) -> OpClass:
+    """Return the :class:`OpClass` of an :class:`OpKind`."""
+    return _CLASS_OF[kind]
+
+
+def arity_of(kind: OpKind) -> int | None:
+    """Return the required operand count for ``kind`` (``None`` = variadic)."""
+    return _ARITY[kind]

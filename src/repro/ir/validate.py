@@ -1,0 +1,96 @@
+"""Structural validation for CDFGs."""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .graph import CDFG
+from .types import OpKind
+
+__all__ = ["validate", "check_problems"]
+
+
+def check_problems(graph: CDFG, require_outputs: bool = True) -> list[str]:
+    """Return a list of structural problems (empty list = valid).
+
+    Checks, in order:
+
+    * every operand source refers to an existing node;
+    * constants fit their declared width;
+    * MUX selects are 1 bit wide;
+    * OUTPUT nodes are sinks (no consumers) and INPUT/CONST have no operands;
+    * distance-0 edges form a DAG;
+    * (optionally) at least one primary output exists and every operation
+      reaches one — dead code would silently distort area numbers.
+    """
+    problems: list[str] = []
+    for node in graph:
+        for idx, op in enumerate(node.operands):
+            if op.source not in graph:
+                problems.append(
+                    f"node {node.nid} operand {idx} references missing node {op.source}"
+                )
+    if problems:
+        return problems  # later checks assume well-formed edges
+
+    for node in graph:
+        if node.kind is OpKind.CONST and node.value is not None:
+            if node.value < 0 or node.value >= (1 << node.width):
+                problems.append(
+                    f"const {node.nid} value {node.value} does not fit width {node.width}"
+                )
+        if node.kind is OpKind.MUX:
+            sel = graph.node(node.operands[0].source)
+            if sel.width != 1:
+                problems.append(
+                    f"mux {node.nid} select (node {sel.nid}) has width {sel.width} != 1"
+                )
+        if node.kind is OpKind.OUTPUT and graph.uses(node.nid):
+            problems.append(f"output {node.nid} has consumers")
+        if node.kind is OpKind.SLICE:
+            src = graph.node(node.operands[0].source)
+            if node.amount + node.width > src.width:
+                problems.append(
+                    f"slice {node.nid} [{node.amount}+:{node.width}] exceeds "
+                    f"source width {src.width}"
+                )
+
+    try:
+        graph.topological_order()
+    except ValidationError as exc:
+        problems.append(str(exc))
+        return problems
+
+    if require_outputs:
+        if not graph.outputs:
+            problems.append("graph has no primary outputs")
+        else:
+            live = _live_set(graph)
+            for node in graph:
+                if not node.is_boundary and node.nid not in live:
+                    problems.append(
+                        f"dead operation {node.nid} ({node.kind.value}) "
+                        "does not reach any output"
+                    )
+    return problems
+
+
+def _live_set(graph: CDFG) -> set[int]:
+    """Nodes backward-reachable from outputs (across any distance)."""
+    live: set[int] = set()
+    stack = [out.nid for out in graph.outputs]
+    while stack:
+        nid = stack.pop()
+        if nid in live:
+            continue
+        live.add(nid)
+        for op in graph.node(nid).operands:
+            if op.source not in live:
+                stack.append(op.source)
+    return live
+
+
+def validate(graph: CDFG, require_outputs: bool = True) -> None:
+    """Raise :class:`ValidationError` if the graph is malformed."""
+    problems = check_problems(graph, require_outputs=require_outputs)
+    if problems:
+        raise ValidationError("; ".join(problems[:8]))

@@ -1,0 +1,6 @@
+"""Post-scheduling technology mapping (the baseline flow's downstream step)."""
+
+from .retime import recompute_starts
+from .stage_mapper import StageMapper, map_schedule
+
+__all__ = ["StageMapper", "map_schedule", "recompute_starts"]

@@ -1,0 +1,63 @@
+"""Intra-cycle start-time recomputation after mapping.
+
+Once a cover exists, operator start times from the additive schedule are
+stale: a cone is one LUT level, not a chain of operators. This pass rewrites
+``L_v`` so that every root starts when its last same-cycle entry finishes
+and every interior node inherits its root's time (the co-timing invariant
+the verifier checks).
+"""
+
+from __future__ import annotations
+
+from ..errors import MappingError
+from ..ir.types import OpKind
+from ..scheduling.schedule import Schedule
+from ..tech.delay import DelayModel
+from ..tech.device import Device
+
+__all__ = ["recompute_starts"]
+
+
+def recompute_starts(schedule: Schedule, device: Device) -> Schedule:
+    """Rewrite ``schedule.start`` in place from the cover; returns it."""
+    if not schedule.cover:
+        raise MappingError("recompute_starts needs a covered schedule")
+    graph = schedule.graph
+    ii = schedule.ii
+    delay = DelayModel(device, graph)
+    start: dict[int, float] = {}
+
+    def start_of(nid: int, stack: tuple = ()) -> float:
+        if nid in start:
+            return start[nid]
+        if nid in stack:
+            raise MappingError(f"combinational cycle through root {nid}")
+        node = graph.node(nid)
+        cut = schedule.cover.get(nid)
+        if cut is None or node.kind in (OpKind.INPUT, OpKind.CONST):
+            start[nid] = 0.0
+            return 0.0
+        arrival = 0.0
+        for u, dist in cut.entries:
+            un = graph.node(u)
+            if un.kind is OpKind.CONST:
+                continue
+            if schedule.cycle.get(u, 0) == schedule.cycle[nid] + ii * dist:
+                u_start = start_of(u, stack + (nid,))
+                u_cut = schedule.cover.get(u)
+                d = delay.cut_delay(un, u_cut) if u_cut is not None else 0.0
+                arrival = max(arrival, u_start + d)
+        start[nid] = arrival
+        return arrival
+
+    for nid in schedule.cover:
+        start_of(nid)
+    # Interior nodes inherit their root's start (and cycle is already equal
+    # for stage-legal covers; the MILP enforces it by constraint).
+    for nid, cut in schedule.cover.items():
+        for w in cut.interior:
+            start[w] = start[nid]
+    for node in graph:
+        start.setdefault(node.nid, 0.0)
+    schedule.start = start
+    return schedule

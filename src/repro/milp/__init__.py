@@ -1,0 +1,15 @@
+"""MILP modeling layer and solver backends (the CPLEX stand-in)."""
+
+from .model import Constraint, LinExpr, Model, Solution, SolveStatus, Var
+from .writer import parse_solution_listing, write_lp
+
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "Solution",
+    "SolveStatus",
+    "Var",
+    "parse_solution_listing",
+    "write_lp",
+]

@@ -1,0 +1,164 @@
+"""A pure-Python branch-and-bound MILP solver.
+
+Educational/backup backend: LP relaxations are solved with HiGHS's *LP*
+solver (``scipy.optimize.linprog``), and integrality is enforced by
+branching. Best-bound node selection with most-fractional branching. It is
+orders of magnitude slower than :mod:`repro.milp.scipy_backend` on large
+models but exercises the same :class:`~repro.milp.model.Model` contract and
+is handy for verifying the production backend on small instances (the test
+suite cross-checks the two).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+
+import numpy as np
+from scipy import optimize, sparse
+
+from .model import Model, Solution, SolveStatus
+
+__all__ = ["solve_branch_and_bound"]
+
+_EPS = 1e-6
+
+
+def _relaxation_matrices(model: Model):
+    n = model.num_vars
+    c = np.zeros(n)
+    for idx, coeff in model.objective.coeffs.items():
+        c[idx] = coeff
+    if model.sense == "max":
+        c = -c
+
+    ub_rows, ub_cols, ub_data, b_ub = [], [], [], []
+    eq_rows, eq_cols, eq_data, b_eq = [], [], [], []
+    for con in model.constraints:
+        rhs = -con.expr.constant
+        if con.sense == "==":
+            row = len(b_eq)
+            for idx, coeff in con.expr.coeffs.items():
+                eq_rows.append(row)
+                eq_cols.append(idx)
+                eq_data.append(coeff)
+            b_eq.append(rhs)
+        else:
+            sign = 1.0 if con.sense == "<=" else -1.0
+            row = len(b_ub)
+            for idx, coeff in con.expr.coeffs.items():
+                ub_rows.append(row)
+                ub_cols.append(idx)
+                ub_data.append(sign * coeff)
+            b_ub.append(sign * rhs)
+
+    a_ub = sparse.csr_matrix((ub_data, (ub_rows, ub_cols)),
+                             shape=(len(b_ub), n)) if b_ub else None
+    a_eq = sparse.csr_matrix((eq_data, (eq_rows, eq_cols)),
+                             shape=(len(b_eq), n)) if b_eq else None
+    return c, a_ub, np.array(b_ub), a_eq, np.array(b_eq)
+
+
+def solve_branch_and_bound(model: Model, time_limit: float | None = None,
+                           max_nodes: int = 200000,
+                           mip_abs_gap: float = 1e-6) -> Solution:
+    """Solve ``model`` by branch and bound over LP relaxations."""
+    if model.num_vars == 0:
+        return Solution(status=SolveStatus.OPTIMAL, objective=0.0, values={})
+
+    c, a_ub, b_ub, a_eq, b_eq = _relaxation_matrices(model)
+    int_vars = [v.index for v in model.variables if v.kind != "continuous"]
+    base_lo = np.array([v.lo for v in model.variables], dtype=float)
+    base_hi = np.array([v.hi for v in model.variables], dtype=float)
+
+    start = time.monotonic()
+    deadline = start + time_limit if time_limit is not None else None
+
+    def solve_lp(lo: np.ndarray, hi: np.ndarray):
+        res = optimize.linprog(
+            c, A_ub=a_ub, b_ub=b_ub if a_ub is not None else None,
+            A_eq=a_eq, b_eq=b_eq if a_eq is not None else None,
+            bounds=np.column_stack([lo, hi]), method="highs",
+        )
+        return res
+
+    incumbent: np.ndarray | None = None
+    incumbent_obj = np.inf
+    counter = itertools.count()
+
+    root = solve_lp(base_lo, base_hi)
+    if root.status == 2:
+        return Solution(status=SolveStatus.INFEASIBLE, objective=None)
+    if root.status == 3:
+        return Solution(status=SolveStatus.UNBOUNDED, objective=None)
+    if root.status != 0:
+        return Solution(status=SolveStatus.ERROR, objective=None,
+                        message=str(root.message))
+
+    heap: list[tuple[float, int, np.ndarray, np.ndarray, np.ndarray]] = []
+    heapq.heappush(heap, (root.fun, next(counter), root.x, base_lo, base_hi))
+    nodes = 0
+    hit_limit = False
+
+    while heap:
+        bound, _, x, lo, hi = heapq.heappop(heap)
+        if bound >= incumbent_obj - mip_abs_gap:
+            continue  # pruned by bound
+        nodes += 1
+        if nodes > max_nodes or (deadline is not None
+                                 and time.monotonic() > deadline):
+            hit_limit = True
+            break
+
+        frac_var = None
+        worst_frac = 0.0
+        for idx in int_vars:
+            frac = abs(x[idx] - round(x[idx]))
+            if frac > _EPS and abs(frac - 0.5) <= abs(worst_frac - 0.5):
+                frac_var = idx
+                worst_frac = frac
+        if frac_var is None:
+            # Integral: candidate incumbent.
+            if bound < incumbent_obj - mip_abs_gap:
+                incumbent = x.copy()
+                incumbent_obj = bound
+            continue
+
+        floor_val = np.floor(x[frac_var])
+        for branch in ("down", "up"):
+            new_lo = lo.copy()
+            new_hi = hi.copy()
+            if branch == "down":
+                new_hi[frac_var] = floor_val
+            else:
+                new_lo[frac_var] = floor_val + 1.0
+            if new_lo[frac_var] > new_hi[frac_var] + _EPS:
+                continue
+            res = solve_lp(new_lo, new_hi)
+            if res.status != 0:
+                continue
+            if res.fun < incumbent_obj - mip_abs_gap:
+                heapq.heappush(
+                    heap, (res.fun, next(counter), res.x, new_lo, new_hi)
+                )
+
+    if incumbent is None:
+        if hit_limit:
+            return Solution(status=SolveStatus.ERROR, objective=None,
+                            message="node/time limit without incumbent")
+        return Solution(status=SolveStatus.INFEASIBLE, objective=None)
+
+    values: dict[int, float] = {}
+    for var in model.variables:
+        v = float(incumbent[var.index])
+        if var.kind != "continuous":
+            v = float(round(v))
+        values[var.index] = v
+    objective = model.objective.value(values)
+    status = SolveStatus.FEASIBLE if (hit_limit or heap) else SolveStatus.OPTIMAL
+    # An empty heap with no limit hit means the tree was fully explored.
+    if not hit_limit and not heap:
+        status = SolveStatus.OPTIMAL
+    return Solution(status=status, objective=objective, values=values,
+                    message=f"nodes={nodes}")

@@ -1,0 +1,121 @@
+"""HiGHS backend via :func:`scipy.optimize.milp`.
+
+This is the production solver (the CPLEX stand-in). Models are lowered to
+the sparse constraint-matrix form scipy expects; the paper's 60-minute cap
+maps to the ``time_limit`` option, and like the paper we accept the best
+incumbent when the limit fires (Sec. 4: "return the best solution found").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize, sparse
+
+from ..errors import SolverError
+from .model import Model, Solution, SolveStatus
+
+__all__ = ["solve_scipy"]
+
+_KIND_TO_INTEGRALITY = {"continuous": 0, "integer": 1, "binary": 1}
+
+
+def _lower(model: Model):
+    """Lower a Model to (c, A, lb_con, ub_con, bounds, integrality)."""
+    n = model.num_vars
+    c = np.zeros(n)
+    for idx, coeff in model.objective.coeffs.items():
+        c[idx] = coeff
+    if model.sense == "max":
+        c = -c
+
+    rows, cols, data = [], [], []
+    lb_con, ub_con = [], []
+    for row, con in enumerate(model.constraints):
+        for idx, coeff in con.expr.coeffs.items():
+            if coeff != 0.0:
+                rows.append(row)
+                cols.append(idx)
+                data.append(coeff)
+        rhs = -con.expr.constant
+        if con.sense == "<=":
+            lb_con.append(-np.inf)
+            ub_con.append(rhs)
+        elif con.sense == ">=":
+            lb_con.append(rhs)
+            ub_con.append(np.inf)
+        else:
+            lb_con.append(rhs)
+            ub_con.append(rhs)
+    a = sparse.csr_matrix(
+        (data, (rows, cols)), shape=(len(model.constraints), n)
+    )
+
+    lo = np.array([v.lo for v in model.variables])
+    hi = np.array([v.hi for v in model.variables])
+    integrality = np.array(
+        [_KIND_TO_INTEGRALITY[v.kind] for v in model.variables]
+    )
+    return c, a, np.array(lb_con), np.array(ub_con), lo, hi, integrality
+
+
+def solve_scipy(model: Model, time_limit: float | None = None,
+                mip_rel_gap: float | None = None,
+                disp: bool = False) -> Solution:
+    """Solve ``model`` with HiGHS; returns a :class:`Solution`."""
+    if model.num_vars == 0:
+        return Solution(status=SolveStatus.OPTIMAL, objective=0.0, values={})
+    c, a, lb_con, ub_con, lo, hi, integrality = _lower(model)
+
+    options: dict = {"disp": disp}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    if mip_rel_gap is not None:
+        options["mip_rel_gap"] = float(mip_rel_gap)
+
+    constraints = (
+        optimize.LinearConstraint(a, lb_con, ub_con)
+        if model.num_constraints
+        else ()
+    )
+    try:
+        result = optimize.milp(
+            c=c,
+            constraints=constraints,
+            bounds=optimize.Bounds(lo, hi),
+            integrality=integrality,
+            options=options,
+        )
+    except Exception as exc:  # pragma: no cover - scipy-internal failures
+        raise SolverError(f"scipy.optimize.milp failed: {exc}") from exc
+
+    # HiGHS statuses: 0 optimal, 1 iteration/time limit, 2 infeasible,
+    # 3 unbounded, 4 other.
+    if result.status == 0:
+        status = SolveStatus.OPTIMAL
+    elif result.status == 1 and result.x is not None:
+        status = SolveStatus.FEASIBLE
+    elif result.status == 2:
+        status = SolveStatus.INFEASIBLE
+    elif result.status == 3:
+        status = SolveStatus.UNBOUNDED
+    else:
+        status = SolveStatus.ERROR
+
+    values: dict[int, float] = {}
+    objective = None
+    if result.x is not None:
+        # Snap integer variables; HiGHS returns values within tolerance.
+        for var in model.variables:
+            v = float(result.x[var.index])
+            if var.kind != "continuous":
+                v = float(round(v))
+            values[var.index] = v
+        objective = model.objective.value(values)
+    gap = getattr(result, "mip_gap", None)
+    return Solution(
+        status=status,
+        objective=objective,
+        values=values,
+        gap=float(gap) if gap is not None else None,
+        message=str(getattr(result, "message", "")),
+    )

@@ -1,0 +1,107 @@
+"""CPLEX-LP-format export for models.
+
+Writes a :class:`~repro.milp.model.Model` as an industry-standard ``.lp``
+file so the exact MILPs can be handed to CPLEX/Gurobi/SCIP — the paper's
+actual solver setup. Also parses the simple ``variable value`` solution
+listing those tools can emit, so externally-computed solutions flow back
+into :meth:`~repro.core.formulation.MappingAwareFormulation.extract`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from .model import Model, Solution, SolveStatus
+
+__all__ = ["write_lp", "parse_solution_listing"]
+
+
+def _term(coeff: float, name: str, first: bool) -> str:
+    sign = "" if (first and coeff >= 0) else ("+ " if coeff >= 0 else "- ")
+    mag = abs(coeff)
+    if mag == 1.0:
+        return f"{sign}{name}"
+    return f"{sign}{mag:g} {name}"
+
+
+def _expr_text(model: Model, coeffs: dict[int, float]) -> str:
+    parts = []
+    for idx in sorted(coeffs):
+        coeff = coeffs[idx]
+        if coeff == 0.0:
+            continue
+        parts.append(_term(coeff, _safe_name(model.variables[idx].name),
+                           first=not parts))
+    return " ".join(parts) if parts else "0 dummy_zero"
+
+
+def _safe_name(name: str) -> str:
+    out = "".join(ch if ch.isalnum() or ch in "_." else "_" for ch in name)
+    if not out or out[0].isdigit():
+        out = "v_" + out
+    return out
+
+
+def write_lp(model: Model) -> str:
+    """Render the model as CPLEX LP text."""
+    lines: list[str] = []
+    lines.append(f"\\ model {model.name}")
+    lines.append("Minimize" if model.sense == "min" else "Maximize")
+    obj = _expr_text(model, model.objective.coeffs)
+    lines.append(f" obj: {obj}")
+    lines.append("Subject To")
+    for i, con in enumerate(model.constraints):
+        rel = {"<=": "<=", ">=": ">=", "==": "="}[con.sense]
+        rhs = -con.expr.constant
+        if rhs == 0.0:
+            rhs = 0.0  # normalize -0.0
+        name = _safe_name(con.name) if con.name else f"c{i}"
+        lines.append(
+            f" {name}: {_expr_text(model, con.expr.coeffs)} {rel} {rhs:g}"
+        )
+    lines.append("Bounds")
+    for var in model.variables:
+        name = _safe_name(var.name)
+        hi = "+inf" if var.hi == float("inf") else f"{var.hi:g}"
+        lo = "-inf" if var.lo == float("-inf") else f"{var.lo:g}"
+        lines.append(f" {lo} <= {name} <= {hi}")
+    generals = [v for v in model.variables if v.kind == "integer"]
+    binaries = [v for v in model.variables if v.kind == "binary"]
+    if generals:
+        lines.append("Generals")
+        lines.append(" " + " ".join(_safe_name(v.name) for v in generals))
+    if binaries:
+        lines.append("Binaries")
+        lines.append(" " + " ".join(_safe_name(v.name) for v in binaries))
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def parse_solution_listing(model: Model, text: str,
+                           objective: float | None = None) -> Solution:
+    """Parse ``name value`` lines (one per variable) into a Solution.
+
+    Unlisted variables default to 0 — the convention of CPLEX's
+    ``write sol`` flat listings. Raises :class:`ModelError` on names that
+    match no variable.
+    """
+    by_name = {_safe_name(v.name): v for v in model.variables}
+    values: dict[int, float] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ModelError(f"solution line {line_no}: expected 'name value'")
+        name, value = parts
+        if name not in by_name:
+            raise ModelError(f"solution line {line_no}: unknown variable {name}")
+        values[by_name[name].index] = float(value)
+    for var in model.variables:
+        values.setdefault(var.index, 0.0)
+    obj = objective if objective is not None else model.objective.value(values)
+    status = SolveStatus.FEASIBLE
+    if not model.check(values):
+        status = SolveStatus.FEASIBLE
+    return Solution(status=status, objective=obj, values=values,
+                    message="external solution listing")

@@ -1,0 +1,7 @@
+"""Verilog emission, testbench generation and structural linting."""
+
+from .lint import lint_verilog
+from .testbench import emit_testbench
+from .verilog import VerilogEmitter, emit_verilog
+
+__all__ = ["VerilogEmitter", "emit_testbench", "emit_verilog", "lint_verilog"]

@@ -1,0 +1,115 @@
+"""ASAP / ALAP scheduling with operator chaining.
+
+These are the classic list-scheduling bounds: ASAP packs every operation as
+early as the additive delay model permits (chaining operations inside a
+cycle until the clock budget runs out); ALAP packs as late as possible given
+a latency bound. Both ignore loop-carried edges (they constrain the modulo
+schedule, not the acyclic one) and both are used as priority functions and
+latency estimates by the heuristic modulo scheduler and the MILP's horizon
+bound M.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..errors import SchedulingError
+from ..ir.graph import CDFG
+
+__all__ = ["asap_schedule", "alap_schedule", "ChainingTimes"]
+
+
+class ChainingTimes:
+    """Per-node (cycle, start) pairs produced by ASAP/ALAP."""
+
+    def __init__(self, cycle: dict[int, int], start: dict[int, float]) -> None:
+        self.cycle = cycle
+        self.start = start
+
+    @property
+    def latency(self) -> int:
+        """Schedule depth in cycles."""
+        return max(self.cycle.values()) + 1 if self.cycle else 0
+
+
+def _check_delay(delay: float, tcp: float, nid: int) -> None:
+    if delay > tcp + 1e-9:
+        raise SchedulingError(
+            f"operation {nid} has delay {delay:.3f} ns > clock period "
+            f"{tcp:.3f} ns; lower the delay or raise the period"
+        )
+
+
+def asap_schedule(graph: CDFG, delay_of: Callable[[int], float],
+                  tcp: float) -> ChainingTimes:
+    """Earliest (cycle, start) per node under additive chaining.
+
+    ``delay_of`` maps node id to its operator delay in ns. A dependence
+    ``u -> v`` (distance 0) forces v to start at or after u's finish time;
+    if the remaining budget in u's last cycle cannot fit v, v slips to the
+    next cycle boundary.
+    """
+    cycle: dict[int, int] = {}
+    start: dict[int, float] = {}
+    for nid in graph.topological_order():
+        node = graph.node(nid)
+        d = delay_of(nid)
+        _check_delay(d, tcp, nid)
+        ready = 0.0  # absolute time, ns
+        for op in node.operands:
+            if op.distance != 0:
+                continue
+            u = op.source
+            finish = cycle[u] * tcp + start[u] + delay_of(u)
+            ready = max(ready, finish)
+        c = int(math.floor(ready / tcp + 1e-9))
+        offset = ready - c * tcp
+        if offset + d > tcp + 1e-9:
+            c += 1
+            offset = 0.0
+        if d == 0.0 and offset <= 1e-9 and c > 0 and ready > 1e-9:
+            # zero-delay node exactly on a cycle boundary stays in the
+            # earlier cycle (L = budget), mirroring the MILP's convention
+            c -= 1
+            offset = tcp
+        cycle[nid] = c
+        start[nid] = offset
+    return ChainingTimes(cycle, start)
+
+
+def alap_schedule(graph: CDFG, delay_of: Callable[[int], float],
+                  tcp: float, latency: int | None = None) -> ChainingTimes:
+    """Latest (cycle, start) per node for a given latency bound.
+
+    When ``latency`` is omitted, the ASAP latency is used (the minimum
+    feasible), so slack = ALAP - ASAP is well defined.
+    """
+    if latency is None:
+        latency = asap_schedule(graph, delay_of, tcp).latency
+    horizon = latency * tcp
+    cycle: dict[int, int] = {}
+    start: dict[int, float] = {}
+    for nid in reversed(graph.topological_order()):
+        node = graph.node(nid)
+        d = delay_of(nid)
+        _check_delay(d, tcp, nid)
+        due = horizon  # absolute deadline for this node's finish
+        for use in graph.uses(nid):
+            if use.distance != 0:
+                continue
+            v = use.consumer
+            due = min(due, cycle[v] * tcp + start[v])
+        finish = due
+        c = int(math.ceil(finish / tcp - 1e-9)) - 1
+        offset = finish - d - c * tcp
+        if offset < -1e-9:
+            c -= 1
+            offset = tcp - d
+        if c < 0:
+            raise SchedulingError(
+                f"latency bound {latency} too small for node {nid}"
+            )
+        cycle[nid] = c
+        start[nid] = max(0.0, offset)
+    return ChainingTimes(cycle, start)

@@ -1,0 +1,77 @@
+"""Minimum initiation interval (MII) computation.
+
+``MII = max(ResMII, RecMII)`` as in Rau's iterative modulo scheduling
+(ref [18] of the paper):
+
+* **ResMII** — for each constrained resource class, ceil(uses / available).
+* **RecMII** — over every elementary dependence cycle, the initiation
+  interval must satisfy ``II * distance(C) * Tcp >= total_delay(C)`` so the
+  recurrence's combinational work fits in the cycles the distance buys.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import networkx as nx
+
+from ..ir.graph import CDFG
+from ..tech.device import Device
+
+__all__ = ["res_mii", "rec_mii", "minimum_ii"]
+
+
+def res_mii(graph: CDFG, device: Device) -> int:
+    """Resource-constrained lower bound on II (Eq. 14's feasibility)."""
+    usage: dict[str, int] = {}
+    for node in graph:
+        if node.is_blackbox and node.rclass:
+            usage[node.rclass] = usage.get(node.rclass, 0) + 1
+    bound = 1
+    for rclass, used in usage.items():
+        available = device.blackbox_counts.get(rclass)
+        if available:
+            bound = max(bound, math.ceil(used / available))
+    return bound
+
+
+def rec_mii(graph: CDFG, delay_of: Callable[[int], float], tcp: float,
+            max_cycles: int = 20000) -> int:
+    """Recurrence-constrained lower bound on II.
+
+    Enumerates elementary cycles of the dependence multigraph (networkx).
+    Benchmarks in this library have few recurrences; the enumeration is
+    capped defensively for synthetic stress graphs.
+    """
+    g = graph.to_networkx(include_back_edges=True)
+    # Collapse the multigraph to a digraph keeping the minimum distance per
+    # edge pair (minimum distance = tightest recurrence).
+    simple = nx.DiGraph()
+    for u, v, data in g.edges(data=True):
+        d = data["distance"]
+        if simple.has_edge(u, v):
+            simple[u][v]["distance"] = min(simple[u][v]["distance"], d)
+        else:
+            simple.add_edge(u, v, distance=d)
+    bound = 1
+    count = 0
+    for cyc in nx.simple_cycles(simple):
+        count += 1
+        if count > max_cycles:
+            break
+        total_delay = sum(delay_of(nid) for nid in cyc)
+        total_dist = 0
+        for i, u in enumerate(cyc):
+            v = cyc[(i + 1) % len(cyc)]
+            total_dist += simple[u][v]["distance"]
+        if total_dist == 0:
+            continue  # combinational cycle: rejected by validation earlier
+        bound = max(bound, math.ceil(total_delay / (tcp * total_dist) - 1e-9))
+    return bound
+
+
+def minimum_ii(graph: CDFG, device: Device, delay_of: Callable[[int], float],
+               tcp: float) -> int:
+    """``max(ResMII, RecMII)``."""
+    return max(res_mii(graph, device), rec_mii(graph, delay_of, tcp))

@@ -1,0 +1,112 @@
+"""The pipeline schedule object shared by every scheduler in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import SchedulingError
+from ..ir.graph import CDFG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cuts.cut import Cut
+
+__all__ = ["Schedule"]
+
+
+@dataclass
+class Schedule:
+    """A modulo schedule plus (optionally) a LUT cover.
+
+    Attributes
+    ----------
+    graph:
+        The scheduled CDFG.
+    ii:
+        Initiation interval in cycles.
+    tcp:
+        Target clock period, ns (the budget each cycle must respect).
+    cycle:
+        ``S_v`` — pipeline cycle per node id (Eq. 6).
+    start:
+        ``L_v`` — start time within the cycle, ns (Sec. 3.2 cycle-time
+        constraints). Nodes absorbed into a cone share the root's start.
+    cover:
+        Selected cut per *root* node id (Eq. 2); empty when only timing was
+        decided (e.g. a raw additive-delay schedule before mapping).
+    method:
+        Which flow produced this schedule ("hls-tool", "milp-base",
+        "milp-map", ...). Used in reports.
+    objective:
+        Solver objective value, when produced by an MILP.
+    solve_seconds:
+        Wall-clock solver time (Table 2).
+    optimal:
+        True when the producing solver proved optimality.
+    """
+
+    graph: CDFG
+    ii: int
+    tcp: float
+    cycle: dict[int, int] = field(default_factory=dict)
+    start: dict[int, float] = field(default_factory=dict)
+    cover: dict[int, "Cut"] = field(default_factory=dict)
+    method: str = "unknown"
+    objective: float | None = None
+    solve_seconds: float = 0.0
+    optimal: bool = True
+
+    # ------------------------------------------------------------------
+    @property
+    def latency(self) -> int:
+        """Pipeline depth in cycles (last used cycle index + 1)."""
+        if not self.cycle:
+            return 0
+        return max(self.cycle.values()) + 1
+
+    @property
+    def num_stages(self) -> int:
+        """Number of register stages = latency - 1 (a 1-cycle pipeline has
+        no internal registers, as in the paper's Figure 1(b))."""
+        return max(0, self.latency - 1)
+
+    @property
+    def roots(self) -> set[int]:
+        """Node ids selected as LUT/operator roots."""
+        return set(self.cover)
+
+    def cycle_of(self, nid: int) -> int:
+        """``S_v`` (raises if the node was not scheduled)."""
+        try:
+            return self.cycle[nid]
+        except KeyError:
+            raise SchedulingError(f"node {nid} is not scheduled") from None
+
+    def nodes_in_cycle(self, cycle: int) -> list[int]:
+        """Node ids assigned to ``cycle``, ordered by start time."""
+        members = [nid for nid, c in self.cycle.items() if c == cycle]
+        members.sort(key=lambda nid: (self.start.get(nid, 0.0), nid))
+        return members
+
+    def finish_time(self, nid: int, delay: float) -> float:
+        """Absolute finish time (ns) of a node given its delay."""
+        return self.cycle_of(nid) * self.tcp + self.start.get(nid, 0.0) + delay
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump (used by examples)."""
+        lines = [
+            f"schedule[{self.method}] of {self.graph.name}: II={self.ii}, "
+            f"Tcp={self.tcp:g} ns, latency={self.latency} cycles, "
+            f"{len(self.cover)} roots"
+        ]
+        for c in range(self.latency):
+            members = self.nodes_in_cycle(c)
+            if not members:
+                continue
+            parts = []
+            for nid in members:
+                node = self.graph.node(nid)
+                tag = "*" if nid in self.cover else " "
+                parts.append(f"{tag}{node.label}@{self.start.get(nid, 0.0):.2f}")
+            lines.append(f"  cycle {c}: " + ", ".join(parts))
+        return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""A system-of-difference-constraints (SDC) solver.
+
+SDC is the workhorse of modern HLS schedulers (Zhang & Liu, ICCAD'13;
+Canis et al., FPL'14 — refs [22, 3] of the paper): constraints of the form
+``x_u - x_v <= c`` are feasible iff the constraint graph has no negative
+cycle, and the shortest-path potentials give the (lexicographically minimal)
+solution. This implementation supports incremental constraint addition with
+rollback, which is what a modulo scheduler needs when it tentatively places
+an operation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import SchedulingError
+
+__all__ = ["SDCSystem"]
+
+
+class SDCSystem:
+    """Difference constraints ``x_u - x_v <= c`` over named variables."""
+
+    def __init__(self) -> None:
+        self._vars: dict[object, int] = {}
+        # adjacency: edges[v] = {u: c} encodes x_u - x_v <= c, i.e. an edge
+        # v -> u with weight c in the constraint graph.
+        self._edges: list[dict[int, float]] = []
+        self._potential: list[float] = []
+        self._trail: list[tuple[int, int, float | None]] = []
+
+    # ------------------------------------------------------------------
+    def var(self, key: object) -> int:
+        """Intern a variable; returns its internal index."""
+        if key not in self._vars:
+            self._vars[key] = len(self._edges)
+            self._edges.append({})
+            self._potential.append(0.0)
+        return self._vars[key]
+
+    def value(self, key: object) -> float:
+        """Current solution value of a variable (normalized to min = 0)."""
+        idx = self._vars[key]
+        base = min(self._potential) if self._potential else 0.0
+        return self._potential[idx] - base
+
+    def values(self) -> dict[object, float]:
+        """Solution values for all variables, normalized to min = 0."""
+        base = min(self._potential) if self._potential else 0.0
+        return {k: self._potential[i] - base for k, i in self._vars.items()}
+
+    # ------------------------------------------------------------------
+    def add(self, u: object, v: object, c: float) -> bool:
+        """Add ``x_u - x_v <= c``; False (and no change) if infeasible.
+
+        Uses incremental Bellman–Ford: only potentials reachable from the
+        new edge are updated; a cycle back to the edge's source at negative
+        reduced cost proves infeasibility, in which case all updates are
+        rolled back.
+        """
+        ui = self.var(u)
+        vi = self.var(v)
+        old = self._edges[vi].get(ui)
+        if old is not None and old <= c:
+            return True  # weaker than an existing constraint
+        self._trail.clear()
+        self._trail.append((vi, ui, old))
+        self._edges[vi][ui] = c
+
+        # Re-relax from vi.
+        pot = self._potential
+        changed: dict[int, float] = {}
+        queue = deque([vi])
+        in_queue = {vi}
+        relaxations = 0
+        num_edges = sum(len(adj) for adj in self._edges)
+        limit = (len(self._edges) + 2) * (num_edges + 2)
+        while queue:
+            x = queue.popleft()
+            in_queue.discard(x)
+            for y, w in self._edges[x].items():
+                if pot[x] + w < pot[y] - 1e-9:
+                    relaxations += 1
+                    if relaxations > limit:
+                        self._rollback(changed)
+                        return False
+                    if y not in changed:
+                        changed[y] = pot[y]
+                    pot[y] = pot[x] + w
+                    if y == vi:
+                        # Negative cycle through the new edge.
+                        self._rollback(changed)
+                        return False
+                    if y not in in_queue:
+                        queue.append(y)
+                        in_queue.add(y)
+        self._trail.clear()
+        return True
+
+    def require(self, u: object, v: object, c: float) -> None:
+        """Like :meth:`add` but raises :class:`SchedulingError` on conflict."""
+        if not self.add(u, v, c):
+            raise SchedulingError(
+                f"SDC constraint {u} - {v} <= {c} is infeasible"
+            )
+
+    def _rollback(self, changed: dict[int, float]) -> None:
+        for idx, old_pot in changed.items():
+            self._potential[idx] = old_pot
+        for vi, ui, old_edge in self._trail:
+            if old_edge is None:
+                del self._edges[vi][ui]
+            else:
+                self._edges[vi][ui] = old_edge
+        self._trail.clear()
+
+    def __len__(self) -> int:
+        return len(self._vars)

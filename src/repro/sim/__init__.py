@@ -1,0 +1,12 @@
+"""Functional and cycle-accurate simulation of kernels and schedules."""
+
+from .functional import FunctionalSimulator, SimEnvironment, run_functional
+from .pipeline import PipelineSimulator, replay_equivalent
+
+__all__ = [
+    "FunctionalSimulator",
+    "PipelineSimulator",
+    "SimEnvironment",
+    "replay_equivalent",
+    "run_functional",
+]

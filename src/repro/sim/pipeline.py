@@ -1,0 +1,162 @@
+"""Cycle-accurate replay of a modulo schedule.
+
+Executes the *scheduled* datapath: iteration ``k`` of operation ``v`` runs
+in absolute cycle ``k*II + S_v``, values chain combinationally inside a
+cycle only when the producer finishes before the consumer starts, and every
+cross-cycle value must come out of a register written in an earlier cycle.
+Any read that the hardware could not satisfy (value not yet produced, or
+produced later in the same cycle) raises :class:`SimulationError` — so
+replaying a schedule against the functional reference is a *dynamic* proof
+that the pipeline both computes the right values and is physically
+realizable at its II.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import SimulationError
+from ..ir.graph import CDFG
+from ..ir.semantics import eval_node, mask
+from ..ir.types import OpKind
+from ..scheduling.schedule import Schedule
+from ..tech.delay import DelayModel
+from ..tech.device import Device
+from .functional import SimEnvironment
+
+__all__ = ["PipelineSimulator", "replay_equivalent"]
+
+_TOL = 1e-6
+
+
+class PipelineSimulator:
+    """Executes a schedule over a stream of per-iteration inputs."""
+
+    def __init__(self, schedule: Schedule, device: Device,
+                 env: SimEnvironment | None = None) -> None:
+        self.schedule = schedule
+        self.graph: CDFG = schedule.graph
+        self.device = device
+        self.env = env or SimEnvironment()
+        self._delay = DelayModel(device, self.graph)
+        # (nid, iteration) -> (finish_time_ns_absolute, value)
+        self._produced: dict[tuple[int, int], tuple[float, int]] = {}
+
+    # ------------------------------------------------------------------
+    def _impl_delay(self, nid: int) -> float:
+        node = self.graph.node(nid)
+        if self.schedule.cover:
+            cut = self.schedule.cover.get(nid)
+            if cut is not None:
+                return self._delay.cut_delay(node, cut)
+            # Absorbed into some cone: the value is virtual and materializes
+            # with its root, which is co-timed with this node.
+            return 0.0
+        return self._delay.operator_delay(node)
+
+    def _abs_start(self, nid: int, iteration: int) -> float:
+        sched = self.schedule
+        cycle = sched.cycle.get(nid, 0) + iteration * sched.ii
+        return cycle * sched.tcp + sched.start.get(nid, 0.0)
+
+    def _read(self, consumer: int, iteration: int, source: int,
+              distance: int) -> int:
+        """Fetch an operand value, enforcing hardware readability."""
+        graph = self.graph
+        src = graph.node(source)
+        if src.kind is OpKind.CONST:
+            return mask(int(src.value), src.width)
+        k = iteration - distance
+        if k < 0:
+            return mask(int(src.attrs.get("initial", 0)), src.width)
+        key = (source, k)
+        if key not in self._produced:
+            raise SimulationError(
+                f"node {consumer} (iter {iteration}) reads {source} "
+                f"(iter {k}) before it executes"
+            )
+        finish, value = self._produced[key]
+        sched = self.schedule
+        if sched.cover:
+            ccut = sched.cover.get(consumer)
+            if ccut is None or source in ccut.interior:
+                # Absorbed consumers read virtual in-cone values; interior
+                # sources are recomputed inside the consumer's own LUT
+                # (logic duplication). Wire timing for cones is enforced
+                # per cut entry by the static verifier; replay checks the
+                # root-to-root wires below and data values throughout.
+                return value
+        my_start = self._abs_start(consumer, iteration)
+        # Registered values are ready at the cycle boundary; combinational
+        # values must finish before the consumer starts.
+        consumer_cycle = sched.cycle.get(consumer, 0) + iteration * sched.ii
+        producer_cycle = sched.cycle.get(source, 0) + k * sched.ii
+        if producer_cycle > consumer_cycle:
+            raise SimulationError(
+                f"node {consumer} reads {source} from a later cycle"
+            )
+        if producer_cycle == consumer_cycle and finish > my_start + _TOL:
+            raise SimulationError(
+                f"combinational race: {source} finishes at {finish:.3f} "
+                f"but {consumer} starts at {my_start:.3f}"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    def run(self, input_stream: Sequence[Mapping[str, int]]
+            ) -> list[dict[str, int]]:
+        """Feed one iteration per input map; returns outputs per iteration."""
+        graph = self.graph
+        sched = self.schedule
+        order = graph.topological_order()
+        results: list[dict[str, int]] = []
+        for k, inputs in enumerate(input_stream):
+            values: dict[int, int] = {}
+            for nid in order:
+                node = graph.node(nid)
+                if node.kind is OpKind.INPUT:
+                    if node.name not in inputs:
+                        raise SimulationError(f"missing input {node.name!r}")
+                    value = mask(int(inputs[node.name]), node.width)
+                elif node.kind is OpKind.CONST:
+                    value = mask(int(node.value), node.width)
+                else:
+                    args = [
+                        self._read(nid, k, op.source, op.distance)
+                        for op in node.operands
+                    ]
+                    widths = [graph.node(op.source).width
+                              for op in node.operands]
+                    if node.kind is OpKind.LOAD:
+                        value = self.env.load(node, args[0])
+                    elif node.kind is OpKind.STORE:
+                        value = self.env.store(node, args[0], args[1])
+                    else:
+                        value = eval_node(node, args, widths)
+                values[nid] = value
+                finish = self._abs_start(nid, k) + self._impl_delay(nid)
+                self._produced[(nid, k)] = (finish, value)
+            results.append({
+                out.name or f"out{out.nid}": values[out.nid]
+                for out in graph.outputs
+            })
+        return results
+
+
+def replay_equivalent(schedule: Schedule, device: Device,
+                      input_stream: Iterable[Mapping[str, int]],
+                      env_factory=None) -> bool:
+    """True iff the scheduled pipeline reproduces the functional outputs.
+
+    ``env_factory`` builds a fresh :class:`SimEnvironment` per simulator (so
+    STOREs in one run don't leak into the other); defaults to empty
+    environments.
+    """
+    from .functional import FunctionalSimulator
+
+    stream = list(input_stream)
+    env_a = env_factory() if env_factory else SimEnvironment()
+    env_b = env_factory() if env_factory else SimEnvironment()
+    golden = FunctionalSimulator(schedule.graph, env_a).run(stream)
+    piped = PipelineSimulator(schedule, device, env_b).run(stream)
+    return golden == piped

@@ -1,0 +1,7 @@
+"""Device, delay and area characterization for LUT-based FPGA targets."""
+
+from .area import AreaModel
+from .delay import DelayModel
+from .device import TUTORIAL4, XC7, Device
+
+__all__ = ["AreaModel", "DelayModel", "Device", "TUTORIAL4", "XC7"]

@@ -1,0 +1,119 @@
+"""Operation delay characterization.
+
+Two delay views exist, and the difference between them is the whole point of
+the paper:
+
+* :meth:`DelayModel.operator_delay` — the delay of a node implemented as a
+  standalone operator (its *unit cut*). These are the "pre-characterized
+  delays" an additive-model scheduler uses.
+* :meth:`DelayModel.cut_delay` — the delay of a node given a selected cut:
+  a K-feasible cone is one LUT level regardless of how many word-level
+  operations it swallows.
+
+A node's ``delay_override`` (back-annotated from an HLS schedule report,
+Sec. 4) always wins for the operator view.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..cuts.cut import Cut
+from ..ir.graph import CDFG
+from ..ir.node import Node
+from ..ir.types import OpClass, OpKind
+from .device import Device
+
+__all__ = ["DelayModel"]
+
+
+class DelayModel:
+    """Maps (node, implementation) to a delay in nanoseconds."""
+
+    def __init__(self, device: Device, graph: CDFG) -> None:
+        self.device = device
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    def operator_delay(self, node: Node) -> float:
+        """Delay of ``node`` as a standalone operator (unit-cut view)."""
+        if node.delay_override is not None:
+            return node.delay_override
+        dev = self.device
+        kind = node.kind
+        if node.op_class is OpClass.BOUNDARY:
+            return 0.0
+        if node.attrs.get("recurrence"):
+            return 0.0  # a loop-carried phi: just a register output
+        if node.op_class is OpClass.BLACKBOX:
+            default = dev.blackbox_delays.get(node.rclass or "", None)
+            if default is not None:
+                return default
+            if kind is OpKind.MUL:
+                return dev.blackbox_delays.get("dsp", 3.2)
+            if kind in (OpKind.DIV, OpKind.MOD):
+                return dev.blackbox_delays.get("div", 8.0)
+            return dev.blackbox_delays.get("mem_port", 2.1)
+        if node.op_class in (OpClass.BITWISE,):
+            return dev.lut_level_delay
+        if node.op_class is OpClass.SHIFT:
+            # Constant shifts / slices / concats are pure wiring.
+            return 0.0
+        # Arithmetic class.
+        if kind in (OpKind.ADD, OpKind.SUB, OpKind.NEG):
+            return dev.carry_base + dev.carry_per_bit * node.width
+        if kind in (OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.GE,
+                    OpKind.SLT, OpKind.SGE):
+            width = max(
+                self.graph.node(op.source).width for op in node.operands
+            )
+            return dev.carry_base + dev.carry_per_bit * width
+        if kind in (OpKind.VSHL, OpKind.VSHR):
+            levels = self._barrel_levels(node.width)
+            return levels * dev.lut_level_delay
+        raise AssertionError(f"unhandled kind {kind}")  # pragma: no cover
+
+    def cut_delay(self, node: Node, cut: Cut) -> float:
+        """Delay of ``node`` given its selected cut.
+
+        A K-feasible cut is exactly one LUT level. An infeasible unit cut
+        falls back to the operator delay (carry chain, barrel shifter,
+        black box...). Pure-wiring roots (every output bit has support <= 1
+        and the op is a re-wiring kind) cost nothing.
+        """
+        if cut.is_unit and not cut.feasible(self.device.k):
+            return self.operator_delay(node)
+        if node.op_class is OpClass.BOUNDARY:
+            return 0.0
+        if node.op_class is OpClass.BLACKBOX:
+            return self.operator_delay(node)
+        if self.is_free_wiring(node, cut):
+            return 0.0
+        if cut.is_unit:
+            # A standalone operator is never slower than its characterized
+            # delay (e.g. a sign test is one wire into a flop, not a full
+            # LUT level).
+            return min(self.operator_delay(node), self.device.lut_level_delay)
+        return self.device.lut_level_delay
+
+    def _barrel_levels(self, width: int) -> int:
+        stages = max(1, math.ceil(math.log2(max(2, width))))
+        # A K-input LUT implements a mux tree absorbing ~log2(K/2)+1 stages.
+        per_lut = max(1, int(math.log2(max(2, self.device.k // 2))) + 1)
+        return max(1, math.ceil(stages / per_lut))
+
+    def is_free_wiring(self, node: Node, cut: Cut) -> bool:
+        """True when the selected cone needs no logic at all.
+
+        A cone made exclusively of shift-class operations (constant shifts,
+        slices, zero-extensions, concatenations) and loop-carried phis only
+        re-indexes bits; it is routed, not mapped. Anything else — even a
+        single-input function like NOT — needs a truth table.
+        """
+
+        def free(n) -> bool:
+            return n.op_class is OpClass.SHIFT or bool(n.attrs.get("recurrence"))
+
+        if not free(node):
+            return False
+        return all(free(self.graph.node(i)) for i in cut.interior)

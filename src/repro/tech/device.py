@@ -1,0 +1,107 @@
+"""FPGA device characterization.
+
+A :class:`Device` bundles the numbers the scheduler needs: LUT input count K,
+per-LUT-level delay, carry-chain timing for word arithmetic, and black-box
+operator characteristics. Two stock devices are provided:
+
+* :data:`XC7` — a Xilinx-7-series-like device (K=6), matching the paper's
+  experimental target;
+* :data:`TUTORIAL4` — the K=4, 2 ns-per-LUT device of the paper's Figure 1
+  walkthrough (target clock 5 ns).
+
+All numbers are representative, not vendor-binding; DESIGN.md explains why
+this preserves the experiment's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Device", "XC7", "TUTORIAL4"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """Timing/area characterization of a LUT-based FPGA target.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    k:
+        LUT input count (the K of K-feasible cuts).
+    lut_delay:
+        Logic delay of one LUT, ns.
+    net_delay:
+        Average local routing delay charged per LUT level, ns.
+    carry_base / carry_per_bit:
+        Carry-chain timing for ADD/SUB/compare operators: total delay is
+        ``carry_base + carry_per_bit * width`` ns.
+    blackbox_delays:
+        Default delay (ns) per resource class of black-box operations.
+    blackbox_counts:
+        Available resource instances per class (Eq. 14's ``N_r``); classes
+        missing from the map are unconstrained.
+    ff_setup:
+        Register setup time charged at the end of a cycle, ns.
+    clock_uncertainty:
+        Fraction of the clock period withheld from the scheduler as margin
+        for routing/jitter (Vivado HLS defaults to 12.5%). Schedulers fill
+        only ``usable_period``; the cost model's achieved CP may then use
+        the full period.
+    """
+
+    name: str = "xc7"
+    k: int = 6
+    lut_delay: float = 0.9
+    net_delay: float = 0.5
+    carry_base: float = 0.6
+    carry_per_bit: float = 0.025
+    blackbox_delays: dict[str, float] = field(
+        default_factory=lambda: {"mem_port": 2.1, "dsp": 3.2, "div": 8.0}
+    )
+    blackbox_counts: dict[str, int] = field(default_factory=dict)
+    ff_setup: float = 0.1
+    clock_uncertainty: float = 0.125
+
+    @property
+    def lut_level_delay(self) -> float:
+        """Delay of one mapped LUT level including local routing, ns."""
+        return self.lut_delay + self.net_delay
+
+    def usable_period(self, tcp: float) -> float:
+        """The scheduling budget for a target period ``tcp``."""
+        return tcp * (1.0 - self.clock_uncertainty)
+
+    def with_resources(self, **counts: int) -> "Device":
+        """Return a copy with resource availability overrides (Eq. 14)."""
+        merged = dict(self.blackbox_counts)
+        merged.update(counts)
+        return Device(
+            name=self.name,
+            k=self.k,
+            lut_delay=self.lut_delay,
+            net_delay=self.net_delay,
+            carry_base=self.carry_base,
+            carry_per_bit=self.carry_per_bit,
+            blackbox_delays=dict(self.blackbox_delays),
+            blackbox_counts=merged,
+            ff_setup=self.ff_setup,
+            clock_uncertainty=self.clock_uncertainty,
+        )
+
+
+#: Xilinx-7-series-like target used for the Table 1 / Table 2 experiments.
+XC7 = Device()
+
+#: The K=4 teaching device of the paper's Figure 1 (2 ns per LUT level).
+TUTORIAL4 = Device(
+    name="tutorial-k4",
+    k=4,
+    lut_delay=1.6,
+    net_delay=0.4,
+    carry_base=1.0,
+    carry_per_bit=0.1,
+    ff_setup=0.0,
+    clock_uncertainty=0.0,
+)

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import SchedulerConfig
+from repro.ir.builder import DFGBuilder
+from repro.tech.device import TUTORIAL4, XC7, Device
+
+
+@pytest.fixture
+def xc7() -> Device:
+    return XC7
+
+
+@pytest.fixture
+def tutorial() -> Device:
+    return TUTORIAL4
+
+
+@pytest.fixture
+def fast_config() -> SchedulerConfig:
+    """A config that keeps MILPs tiny and solves fast in tests."""
+    return SchedulerConfig(ii=1, tcp=10.0, time_limit=30.0, max_cuts=8)
+
+
+def build_fig1(width: int = 2):
+    """The feed-forward Figure 1 kernel (shared by many tests)."""
+    b = DFGBuilder("fig1", width=width)
+    s = b.input("s", width)
+    t = b.input("t", width)
+    a = s >> 1
+    x = t ^ a
+    c = x.sge(0)
+    e = b.mux(c, t ^ s, t)
+    b.output(e, "out")
+    return b.build()
+
+
+def build_recurrent(width: int = 8):
+    """A kernel with a distance-1 recurrence (shared by many tests)."""
+    b = DFGBuilder("recur", width=width)
+    s = b.input("s", width)
+    t = b.input("t", width)
+    acc = b.recurrence("acc", width=width, initial=3)
+    c = (t ^ (s >> 1)).sge(0)
+    nxt = b.mux(c, acc ^ t, acc + 1)
+    nxt.feed(acc)
+    b.output(nxt, "out")
+    return b.build()
+
+
+@pytest.fixture
+def fig1_graph():
+    return build_fig1()
+
+
+@pytest.fixture
+def recurrent_graph():
+    return build_recurrent()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)

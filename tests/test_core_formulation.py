@@ -1,0 +1,149 @@
+"""Unit tests for the MILP formulation (Eq. 2-15)."""
+
+import pytest
+
+from repro.core import MappingAwareFormulation, SchedulerConfig
+from repro.core.mapsched import BaseScheduler, MapScheduler
+from repro.cuts import enumerate_cuts
+from repro.errors import ModelError
+from repro.ir import DFGBuilder
+from repro.milp.model import SolveStatus
+from repro.tech.device import TUTORIAL4, XC7
+
+from .conftest import build_fig1, build_recurrent
+
+
+def make_formulation(graph, device=TUTORIAL4, horizon=4, **cfg):
+    config = SchedulerConfig(ii=1, tcp=5.0, time_limit=30, **cfg)
+    cuts = enumerate_cuts(graph, device.k)
+    f = MappingAwareFormulation(graph, cuts, device, config, horizon)
+    f.build()
+    return f
+
+
+class TestModelShape:
+    def test_variable_groups(self):
+        f = make_formulation(build_fig1())
+        assert f.stats.num_sched_vars > 0
+        assert f.stats.num_cut_vars > 0
+        assert f.stats.num_constraints > 0
+        assert f.stats.horizon == 4
+
+    def test_map_has_more_cut_vars_than_base(self):
+        g = build_fig1()
+        full = make_formulation(g)
+        base_cuts = enumerate_cuts(g, TUTORIAL4.k, max_cuts=0)
+        base = MappingAwareFormulation(
+            g, base_cuts, TUTORIAL4, SchedulerConfig(ii=1, tcp=5.0), 4
+        )
+        base.build()
+        assert full.stats.num_cut_vars > base.stats.num_cut_vars
+        assert full.stats.num_constraints > base.stats.num_constraints
+
+    def test_bad_horizon(self):
+        g = build_fig1()
+        cuts = enumerate_cuts(g, 4)
+        with pytest.raises(ModelError, match="horizon"):
+            MappingAwareFormulation(g, cuts, TUTORIAL4,
+                                    SchedulerConfig(ii=1, tcp=5.0), 0)
+
+    def test_budget_is_derated(self):
+        f = make_formulation(build_fig1(), device=XC7)
+        assert f.budget == pytest.approx(5.0 * 0.875)
+
+    def test_extract_requires_ok_solution(self):
+        f = make_formulation(build_fig1())
+        from repro.milp.model import Solution
+
+        with pytest.raises(ModelError, match="cannot extract"):
+            f.extract(Solution(status=SolveStatus.INFEASIBLE, objective=None),
+                      "x")
+
+    def test_solution_respects_model_check(self):
+        f = make_formulation(build_fig1())
+        sol = f.model.solve("scipy", time_limit=30)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert f.model.check(sol.values, tol=1e-4) == []
+
+    def test_resource_vars_created_per_class(self):
+        b = DFGBuilder("m", width=8)
+        addr = b.input("addr", 4)
+        l1 = b.load(addr, name="m1")
+        l2 = b.load(addr + 1, name="m2")
+        b.output(l1 ^ l2, "o")
+        g = b.build()
+        cuts = enumerate_cuts(g, XC7.k)
+        f = MappingAwareFormulation(
+            g, cuts, XC7.with_resources(mem_port=1),
+            SchedulerConfig(ii=2, tcp=10.0), 4,
+        )
+        f.build()
+        assert "mem_port" in f.resource_vars
+
+
+class TestOptimalSolutions:
+    def test_single_xor_schedules_to_cycle0(self):
+        b = DFGBuilder("t", width=2)
+        a, c = b.input("a"), b.input("c")
+        b.output(a ^ c, "o")
+        g = b.build()
+        sched = MapScheduler(g, TUTORIAL4,
+                             SchedulerConfig(ii=1, tcp=5.0)).schedule()
+        assert sched.latency == 1
+        xor = next(n for n in g if n.kind.value == "xor")
+        assert sched.cycle[xor.nid] == 0
+        assert xor.nid in sched.cover
+
+    def test_base_objective_counts_units(self):
+        # two chained xors at width 2: base pays LUT bits for both,
+        # map collapses into one cone
+        b = DFGBuilder("t", width=2)
+        a, c, d = b.input("a"), b.input("c"), b.input("d")
+        b.output((a ^ c) ^ d, "o")
+        g1 = b.build()
+        base = BaseScheduler(g1, TUTORIAL4, SchedulerConfig(ii=1, tcp=5.0))
+        s_base = base.schedule()
+
+        b2 = DFGBuilder("t", width=2)
+        a, c, d = b2.input("a"), b2.input("c"), b2.input("d")
+        b2.output((a ^ c) ^ d, "o")
+        s_map = MapScheduler(b2.build(), TUTORIAL4,
+                             SchedulerConfig(ii=1, tcp=5.0)).schedule()
+        assert s_map.objective < s_base.objective
+        assert len([n for n in s_map.cover
+                    if s_map.graph.node(n).kind.value == "xor"
+                    and s_map.cover[n].kind != "trivial"]) == 1
+
+    def test_paper_objective_mode(self):
+        g = build_fig1()
+        sched = MapScheduler(
+            g, TUTORIAL4,
+            SchedulerConfig(ii=1, tcp=5.0, paper_objective=True),
+        ).schedule()
+        assert sched.latency == 1  # same structural optimum
+
+    def test_recurrence_forces_producer_root(self):
+        g = build_recurrent()
+        sched = MapScheduler(g, XC7,
+                             SchedulerConfig(ii=1, tcp=10.0)).schedule()
+        rec = next(n for n in g if n.attrs.get("recurrence"))
+        producer = rec.operands[1].source
+        assert producer in sched.cover
+
+    def test_alpha_zero_ignores_luts(self):
+        # with alpha=0 the solver may pick any cover as long as registers
+        # are minimal; with beta=0 it must minimize LUTs
+        g = build_fig1()
+        s_lut = MapScheduler(
+            g, TUTORIAL4, SchedulerConfig(ii=1, tcp=5.0, alpha=1.0, beta=0.0)
+        ).schedule()
+        g2 = build_fig1()
+        s_ff = MapScheduler(
+            g2, TUTORIAL4, SchedulerConfig(ii=1, tcp=5.0, alpha=0.0, beta=1.0)
+        ).schedule()
+        from repro.hw import evaluate
+
+        r_lut = evaluate(s_lut, TUTORIAL4)
+        r_ff = evaluate(s_ff, TUTORIAL4)
+        assert r_lut.luts <= r_ff.luts
+        assert r_ff.ffs <= r_lut.ffs

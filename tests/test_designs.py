@@ -1,0 +1,180 @@
+"""Tests for the nine Table 1 benchmark designs and the registry."""
+
+import random
+
+import pytest
+
+from repro.designs import (
+    BENCHMARKS,
+    DR_TRAINING,
+    RS_CODEWORD,
+    application_names,
+    build_clz,
+    build_cordic,
+    build_gfmul,
+    build_xorr,
+    get_benchmark,
+    kernel_names,
+    make_dr_env,
+    make_mt_env,
+    random_dfg,
+    reference_aes_round,
+    reference_clz,
+    reference_cordic,
+    reference_dr_step,
+    reference_gfmul,
+    reference_gsm_step,
+    reference_mt,
+    reference_rs_step,
+    reference_xorr,
+)
+from repro.errors import ExperimentError
+from repro.ir.validate import check_problems
+from repro.sim import FunctionalSimulator
+
+
+class TestRegistry:
+    def test_all_nine_registered(self):
+        assert set(BENCHMARKS) == {
+            "CLZ", "XORR", "GFMUL", "CORDIC", "MT", "AES", "RS", "DR", "GSM"
+        }
+
+    def test_kernel_application_split(self):
+        assert set(kernel_names()) == {"CLZ", "XORR", "GFMUL"}
+        assert len(application_names()) == 6
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("aes").name == "AES"
+        with pytest.raises(ExperimentError, match="unknown"):
+            get_benchmark("nope")
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_builds_validate(self, name):
+        graph = BENCHMARKS[name].build()
+        assert check_problems(graph) == []
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_streams_are_deterministic_and_sufficient(self, name):
+        spec = BENCHMARKS[name]
+        s1 = spec.input_stream(seed=5, n=4)
+        s2 = spec.input_stream(seed=5, n=4)
+        assert s1 == s2
+        graph = spec.build()
+        sim = FunctionalSimulator(graph, spec.make_env(1))
+        for row in s1:
+            sim.step(row)  # raises if an input is missing
+
+
+class TestGoldenModels:
+    def test_clz(self, rng):
+        g = build_clz()
+        sim = FunctionalSimulator(g)
+        for x in [0, 1, (1 << 63), (1 << 64) - 1] + \
+                [rng.randrange(1 << 64) >> rng.randrange(64) for _ in range(30)]:
+            assert sim.step({"x": x})["clz"] == reference_clz(x)
+
+    def test_xorr(self, rng):
+        g = build_xorr(elements=16, width=32)
+        sim = FunctionalSimulator(g)
+        vals = [rng.randrange(1 << 32) for _ in range(16)]
+        out = sim.step({f"x{i}": v for i, v in enumerate(vals)})["xorr"]
+        assert out == reference_xorr(vals, width=32)
+
+    def test_gfmul_agrees_with_table(self, rng):
+        g = build_gfmul()
+        sim = FunctionalSimulator(g)
+        # identities of GF(2^8)
+        assert sim.step({"a": 0x57, "b": 0x13})["p"] == 0xFE  # AES known pair
+        for _ in range(50):
+            a, m = rng.randrange(256), rng.randrange(256)
+            assert sim.step({"a": a, "b": m})["p"] == reference_gfmul(a, m)
+
+    def test_gfmul_field_properties(self, rng):
+        # commutativity and distributivity via the reference model
+        for _ in range(50):
+            a, b, c = (rng.randrange(256) for _ in range(3))
+            assert reference_gfmul(a, b) == reference_gfmul(b, a)
+            assert reference_gfmul(a, b ^ c) == \
+                reference_gfmul(a, b) ^ reference_gfmul(a, c)
+
+    def test_cordic_rotates_toward_zero(self):
+        # rotation mode drives the residual angle toward 0
+        x, y, z = reference_cordic(0x1000, 0, 0x0800, iterations=8)
+        from repro.ir.semantics import to_signed
+        assert abs(to_signed(z, 16)) < 0x0800
+
+    def test_mt_matches_reference(self):
+        g = BENCHMARKS["MT"].build()
+        env = make_mt_env(7)
+        state = list(env.memories["mt_state"])
+        sim = FunctionalSimulator(g, env)
+        for k in range(30):
+            assert sim.step({"idx": k})["rand"] == reference_mt(k, state)
+
+    def test_aes_known_sbox_values(self):
+        from repro.designs import AES_SBOX
+
+        # canonical S-box entries
+        assert AES_SBOX[0x00] == 0x63
+        assert AES_SBOX[0x01] == 0x7C
+        assert AES_SBOX[0x53] == 0xED
+        assert AES_SBOX[0xFF] == 0x16
+
+    def test_aes_round(self, rng):
+        g = BENCHMARKS["AES"].build()
+        sim = FunctionalSimulator(g, BENCHMARKS["AES"].make_env(0))
+        for _ in range(20):
+            col, key = rng.randrange(1 << 32), rng.randrange(1 << 32)
+            assert sim.step({"col": col, "key": key})["col_out"] == \
+                reference_aes_round(col, key)
+
+    def test_rs_accumulates(self):
+        g = BENCHMARKS["RS"].build()
+        sim = FunctionalSimulator(g, BENCHMARKS["RS"].make_env(0))
+        state = [0, 0]
+        for k in range(25):
+            out = sim.step({"idx": k})
+            syns, loc, ne = reference_rs_step(state, RS_CODEWORD[k % 64])
+            assert [out["syn1"], out["syn2"]] == syns
+            assert out["locator"] == loc and out["no_error"] == ne
+            state = syns
+
+    def test_dr_tracks_minimum(self, rng):
+        g = BENCHMARKS["DR"].build()
+        sim = FunctionalSimulator(g, make_dr_env())
+        best = ((1 << 32) - 1, 0)
+        for k in range(30):
+            q = rng.randrange(1 << 32)
+            out = sim.step({"query": q, "idx": k % 64})
+            best = reference_dr_step(q, k % 64, best, DR_TRAINING)
+            assert (out["min_dist"], out["min_idx"]) == best
+        # min distance never increases
+        assert out["min_dist"] <= 32
+
+    def test_gsm_saturation(self):
+        g = BENCHMARKS["GSM"].build()
+        sim = FunctionalSimulator(g)
+        u = 0
+        for k, sri in enumerate([0x1FFFF, 0, 0x3FFFF, 123, 45678]):
+            out = sim.step({"sri": sri})
+            sri_ref, u_ref = reference_gsm_step(sri, u)
+            assert (out["sri_out"], out["u_out"]) == (sri_ref, u_ref)
+            u = u_ref
+
+
+class TestSynthetic:
+    def test_reproducible(self):
+        g1 = random_dfg(42)
+        g2 = random_dfg(42)
+        assert g1.op_histogram() == g2.op_histogram()
+
+    def test_all_valid(self):
+        for seed in range(20):
+            g = random_dfg(seed, ops=12, recurrences=2)
+            assert check_problems(g) == []
+
+    def test_simulatable(self, rng):
+        g = random_dfg(3, ops=12, inputs=2, recurrences=1)
+        sim = FunctionalSimulator(g)
+        for _ in range(5):
+            sim.step({f"i{k}": rng.randrange(256) for k in range(2)})

@@ -1,0 +1,96 @@
+"""Unit tests for the commercial-tool proxy and the hardware cost model."""
+
+import pytest
+
+from repro.core import schedule_problems
+from repro.errors import SchedulingError
+from repro.hls import CommercialHLSProxy, back_annotate, make_report
+from repro.hw import evaluate
+from repro.ir import DFGBuilder
+from repro.scheduling.schedule import Schedule
+from repro.tech.device import TUTORIAL4, XC7
+
+from .conftest import build_fig1, build_recurrent
+
+
+class TestHLSProxy:
+    def test_end_to_end_valid(self):
+        result = CommercialHLSProxy(build_fig1(), XC7, tcp=10.0).run()
+        assert schedule_problems(result.schedule, XC7) == []
+        assert result.schedule.method == "hls-tool"
+
+    def test_report_contains_delays_and_cycles(self):
+        result = CommercialHLSProxy(build_fig1(), XC7, tcp=10.0).run()
+        report = result.report
+        assert report.op_delay
+        text = report.render(result.schedule.graph)
+        assert "Schedule report" in text and "delay" in text
+
+    def test_back_annotate_blackbox_only(self):
+        b = DFGBuilder("m", width=8)
+        addr = b.input("addr", 4)
+        load = b.load(addr, name="m")
+        b.output(load ^ 1, "o")
+        g = b.build()
+        result = CommercialHLSProxy(g, XC7, tcp=10.0).run()
+        g2 = g.copy()
+        count = back_annotate(g2, result.report, blackbox_only=True)
+        assert count == 1
+        annotated = next(n for n in g2 if n.is_blackbox)
+        assert annotated.delay_override is not None
+
+    def test_back_annotate_all_ops(self):
+        result = CommercialHLSProxy(build_fig1(), XC7, tcp=10.0).run()
+        g2 = result.schedule.graph.copy()
+        count = back_annotate(g2, result.report, blackbox_only=False)
+        assert count == g2.num_operations
+
+
+class TestHardwareCost:
+    def test_requires_cover(self, fig1_graph):
+        bare = Schedule(graph=fig1_graph, ii=1, tcp=5.0,
+                        cycle={n.nid: 0 for n in fig1_graph})
+        with pytest.raises(SchedulingError, match="cover"):
+            evaluate(bare, XC7)
+
+    def test_ff_counts_cycle_crossings(self):
+        result = CommercialHLSProxy(build_recurrent(), XC7, tcp=10.0).run()
+        report = evaluate(result.schedule, XC7)
+        sched = result.schedule
+        if sched.latency == 1:
+            # loop-carried value still needs its register? No: at II=1 and
+            # a 1-cycle pipe the feedback register is counted via the
+            # distance-1 consumption (born c, read c+1)
+            assert report.ffs >= 8
+        assert report.luts > 0
+
+    def test_cp_below_target_for_verified_schedules(self):
+        result = CommercialHLSProxy(build_fig1(), XC7, tcp=10.0).run()
+        report = evaluate(result.schedule, XC7)
+        assert report.cp <= 10.0 + 1e-6
+
+    def test_zero_stage_pipeline_has_no_ffs(self):
+        from repro.core import MapScheduler, SchedulerConfig
+
+        sched = MapScheduler(build_fig1(), TUTORIAL4,
+                             SchedulerConfig(ii=1, tcp=5.0)).schedule()
+        report = evaluate(sched, TUTORIAL4)
+        assert sched.latency == 1
+        assert report.ffs == 0
+
+    def test_resource_usage_reported(self):
+        b = DFGBuilder("m", width=8)
+        addr = b.input("addr", 4)
+        l1 = b.load(addr, name="m1")
+        l2 = b.load(addr + 1, name="m2")
+        b.output(l1 ^ l2, "o")
+        result = CommercialHLSProxy(b.build(), XC7, tcp=10.0).run()
+        report = evaluate(result.schedule, XC7)
+        assert report.resource_usage.get("mem_port") == 2
+
+    def test_row_shape(self):
+        result = CommercialHLSProxy(build_fig1(), XC7, tcp=10.0).run()
+        report = evaluate(result.schedule, XC7)
+        method, cp, luts, ffs = report.row()
+        assert method == "hls-tool"
+        assert isinstance(cp, float) and isinstance(luts, int)

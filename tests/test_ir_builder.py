@@ -1,0 +1,147 @@
+"""Unit tests for the DFGBuilder DSL."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import DFGBuilder, OpKind
+
+
+class TestBasics:
+    def test_operator_overloads_build_expected_kinds(self):
+        b = DFGBuilder("t", width=8)
+        a, c = b.input("a"), b.input("c")
+        nodes = {
+            OpKind.AND: a & c,
+            OpKind.OR: a | c,
+            OpKind.XOR: a ^ c,
+            OpKind.NOT: ~a,
+            OpKind.ADD: a + c,
+            OpKind.SUB: a - c,
+            OpKind.NEG: -a,
+        }
+        for kind, value in nodes.items():
+            assert value.node.kind is kind
+
+    def test_comparisons_are_one_bit(self):
+        b = DFGBuilder("t", width=8)
+        a, c = b.input("a"), b.input("c")
+        for v in (a.eq(c), a.ne(c), a.lt(c), a.ge(c), a.slt(c), a.sge(c)):
+            assert v.width == 1
+
+    def test_shift_amount_stored_on_node(self):
+        b = DFGBuilder("t", width=8)
+        a = b.input("a")
+        v = a << 3
+        assert v.node.kind is OpKind.SHL and v.node.amount == 3
+
+    def test_negative_shift_rejected(self):
+        b = DFGBuilder("t", width=8)
+        a = b.input("a")
+        with pytest.raises(IRError, match="negative"):
+            b.shift(a, -1, left=True)
+
+    def test_const_deduplication(self):
+        b = DFGBuilder("t", width=8)
+        c1 = b.const(5)
+        c2 = b.const(5)
+        c3 = b.const(5, width=4)
+        assert c1.nid == c2.nid
+        assert c3.nid != c1.nid
+
+    def test_const_masks_value_to_width(self):
+        b = DFGBuilder("t", width=4)
+        c = b.const(0x1FF)
+        assert c.node.value == 0xF
+
+    def test_int_literals_coerced(self):
+        b = DFGBuilder("t", width=8)
+        a = b.input("a")
+        v = a ^ 0x0F
+        src = b.graph.node(v.node.operands[1].source)
+        assert src.kind is OpKind.CONST and src.value == 0x0F
+
+    def test_slice_bit_concat(self):
+        b = DFGBuilder("t", width=8)
+        a = b.input("a")
+        s = a.slice(2, 3)
+        assert s.width == 3 and s.node.amount == 2
+        bit = a.bit(7)
+        assert bit.width == 1
+        cat = b.concat(a, s)
+        assert cat.width == 11
+
+    def test_mux_operand_order(self):
+        b = DFGBuilder("t", width=8)
+        sel = b.input("sel", 1)
+        a, c = b.input("a"), b.input("c")
+        m = b.mux(sel, a, c)
+        assert m.node.source_ids == [sel.nid, a.nid, c.nid]
+
+    def test_blackbox_load(self):
+        b = DFGBuilder("t", width=8)
+        addr = b.input("addr", 4)
+        v = b.load(addr, width=16, name="rom")
+        assert v.node.kind is OpKind.LOAD
+        assert v.node.rclass == "mem_port"
+        assert v.width == 16
+
+
+class TestRecurrences:
+    def test_unclosed_recurrence_fails_build(self):
+        b = DFGBuilder("t", width=4)
+        i = b.input("i")
+        r = b.recurrence("r")
+        b.output(i ^ r, "o")
+        with pytest.raises(IRError, match="unclosed"):
+            b.build()
+
+    def test_close_twice_fails(self):
+        b = DFGBuilder("t", width=4)
+        i = b.input("i")
+        r = b.recurrence("r")
+        v = i ^ r
+        v.feed(r)
+        with pytest.raises(IRError, match="not an open recurrence"):
+            v.feed(r)
+
+    def test_initial_propagates_to_producer(self):
+        b = DFGBuilder("t", width=4)
+        i = b.input("i")
+        r = b.recurrence("r", initial=7)
+        v = i ^ r
+        v.feed(r)
+        b.output(v, "o")
+        g = b.build()
+        assert v.node.attrs["initial"] == 7
+        assert g.node(r.nid).attrs["recurrence"] is True
+
+    def test_conflicting_initials_rejected(self):
+        b = DFGBuilder("t", width=4)
+        i = b.input("i")
+        r1 = b.recurrence("r1", initial=1)
+        r2 = b.recurrence("r2", initial=2)
+        v = i ^ r1 ^ r2
+        v.feed(r1)
+        with pytest.raises(IRError, match="conflicting"):
+            v.feed(r2)
+
+    def test_distance_must_be_positive(self):
+        b = DFGBuilder("t", width=4)
+        r = b.recurrence("r")
+        v = b.input("i") ^ r
+        with pytest.raises(IRError, match=">= 1"):
+            v.feed(r, distance=0)
+
+
+class TestWidths:
+    def test_binary_result_takes_max_operand_width(self):
+        b = DFGBuilder("t", width=8)
+        a = b.input("a", 8)
+        c = b.input("c", 16)
+        assert (a ^ c).width == 16
+
+    def test_explicit_width_override(self):
+        b = DFGBuilder("t", width=8)
+        a = b.input("a")
+        v = b.op(OpKind.ADD, a, a, width=9)
+        assert v.width == 9

@@ -1,0 +1,170 @@
+"""Unit tests for the kernel-language frontend."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.ir import compile_kernel
+from repro.sim.functional import FunctionalSimulator
+
+
+class TestParsing:
+    def test_inputs_and_outputs(self):
+        g = compile_kernel("input a : 8\noutput a : o")
+        assert [n.width for n in g.inputs] == [8]
+        assert [n.name for n in g.outputs] == ["o"]
+
+    def test_comments_and_blank_lines(self):
+        g = compile_kernel("""
+# a comment
+input a : 8
+
+output a  # trailing comment
+""")
+        assert len(g.inputs) == 1
+
+    def test_precedence_sum_tighter_than_xor(self):
+        g = compile_kernel("""
+input a : 8
+input b : 8
+output a ^ b + 1 : o
+""")
+        out_src = g.node(g.outputs[0].operands[0].source)
+        assert out_src.kind.value == "xor"
+
+    def test_parentheses(self):
+        g = compile_kernel("""
+input a : 8
+output (a ^ 1) + 1 : o
+""")
+        out_src = g.node(g.outputs[0].operands[0].source)
+        assert out_src.kind.value == "add"
+
+    def test_slices_and_bits(self):
+        g = compile_kernel("""
+input a : 8
+t = a[7:4]
+output t ^ a[0] : o
+""")
+        assert any(n.kind.value == "slice" for n in g)
+
+    def test_calls(self):
+        g = compile_kernel("""
+input a : 8
+input sel : 1
+m = mux(sel, a, zext(trunc(a, 4), 8))
+output m : o
+""")
+        kinds = {n.kind.value for n in g}
+        assert {"mux", "trunc", "zext"} <= kinds
+
+    def test_load_call(self):
+        g = compile_kernel("""
+input addr : 8
+output load(addr, 16) : data
+""")
+        assert any(n.kind.value == "load" for n in g)
+
+
+class TestRegisters:
+    def test_register_recurrence(self):
+        src = """
+input x : 8
+reg acc : 8 init 5
+nxt = acc ^ x
+acc <= nxt
+output nxt : o
+"""
+        g = compile_kernel(src)
+        sim = FunctionalSimulator(g)
+        assert sim.step({"x": 1})["o"] == 4   # 5 ^ 1
+        assert sim.step({"x": 2})["o"] == 6   # 4 ^ 2
+
+    def test_plain_assign_to_reg_rejected(self):
+        with pytest.raises(FrontendError, match="<="):
+            compile_kernel("""
+reg r : 8 init 0
+r = 5
+output r
+""")
+
+    def test_update_non_reg_rejected(self):
+        with pytest.raises(FrontendError, match="not a reg"):
+            compile_kernel("""
+input a : 8
+a <= a
+output a
+""")
+
+
+class TestErrors:
+    def test_undefined_name(self):
+        with pytest.raises(FrontendError, match="undefined"):
+            compile_kernel("output nothing")
+
+    def test_bad_statement(self):
+        with pytest.raises(FrontendError, match="cannot tokenize"):
+            compile_kernel("input a : 8\n???")
+
+    def test_unparseable_statement(self):
+        with pytest.raises(FrontendError, match="cannot parse"):
+            compile_kernel("input a : 8\na a a")
+
+    def test_bad_input_decl(self):
+        with pytest.raises(FrontendError, match="input NAME"):
+            compile_kernel("input a")
+
+    def test_variable_shift_amount_rejected(self):
+        with pytest.raises(FrontendError, match="integer literals"):
+            compile_kernel("""
+input a : 8
+input s : 3
+output a >> s
+""")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(FrontendError, match="trailing"):
+            compile_kernel("""
+input a : 8
+t = a ^ 1 a
+output t
+""")
+
+    def test_constant_only_binop_rejected(self):
+        with pytest.raises(FrontendError, match="at least one operand"):
+            compile_kernel("""
+input a : 8
+t = 1 ^ 2
+output a
+""")
+
+
+class TestSemantics:
+    def test_matches_handwritten_reference(self):
+        src = """
+input a : 8
+input b : 8
+t = (a ^ b) >> 1
+c = t >= 0x40
+out1 = mux(c, a + b, a - b)
+output out1 : r
+"""
+        g = compile_kernel(src)
+        sim = FunctionalSimulator(g)
+
+        def ref(a, b):
+            t = ((a ^ b) & 0xFF) >> 1
+            return (a + b) & 0xFF if t >= 0x40 else (a - b) & 0xFF
+
+        import random
+        rng = random.Random(9)
+        for _ in range(50):
+            a, b = rng.randrange(256), rng.randrange(256)
+            assert sim.step({"a": a, "b": b})["r"] == ref(a, b)
+
+    def test_int_on_left_of_binop_keeps_order(self):
+        g = compile_kernel("""
+input a : 8
+output 255 - a : o
+""")
+        sim = FunctionalSimulator(g)
+        assert sim.step({"a": 5})["o"] == 250

@@ -1,0 +1,124 @@
+"""Unit tests for the CDFG container."""
+
+import pytest
+
+from repro.errors import IRError, ValidationError
+from repro.ir import CDFG, DFGBuilder, OpKind, Operand
+
+
+def small_graph() -> CDFG:
+    g = CDFG("g")
+    a = g.add_node(OpKind.INPUT, 8, name="a")
+    b = g.add_node(OpKind.INPUT, 8, name="b")
+    x = g.add_node(OpKind.XOR, 8, operands=[a.nid, b.nid])
+    g.add_node(OpKind.OUTPUT, 8, operands=[x.nid], name="o")
+    return g
+
+
+class TestConstruction:
+    def test_ids_are_dense_and_unique(self):
+        g = small_graph()
+        assert g.node_ids == [0, 1, 2, 3]
+
+    def test_operand_must_exist_for_distance_zero(self):
+        g = CDFG()
+        with pytest.raises(IRError, match="not in graph"):
+            g.add_node(OpKind.NOT, 8, operands=[99])
+
+    def test_forward_reference_allowed_for_loop_carried(self):
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        # operand 99 does not exist yet but distance=1 permits it
+        x = g.add_node(OpKind.XOR, 4, operands=[Operand(a.nid), Operand(99, 1)])
+        assert x.operands[1].distance == 1
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(IRError, match="negative"):
+            Operand(0, -1)
+
+    def test_node_lookup_missing(self):
+        g = small_graph()
+        with pytest.raises(IRError, match="no node"):
+            g.node(42)
+
+    def test_contains_and_len(self):
+        g = small_graph()
+        assert 0 in g and 42 not in g
+        assert len(g) == 4
+
+    def test_set_operand_rewires(self):
+        g = small_graph()
+        g.set_operand(2, 1, 0)  # xor now reads input a twice
+        assert g.node(2).source_ids == [0, 0]
+
+    def test_set_operand_bad_index(self):
+        g = small_graph()
+        with pytest.raises(IRError, match="no operand"):
+            g.set_operand(2, 5, 0)
+
+
+class TestUsesAndOrder:
+    def test_uses_tracks_all_slots(self):
+        g = small_graph()
+        g.set_operand(2, 1, 0)
+        uses = g.uses(0)
+        assert {(u.consumer, u.operand_index) for u in uses} == {(2, 0), (2, 1)}
+
+    def test_successor_ids_unique(self):
+        g = small_graph()
+        g.set_operand(2, 1, 0)
+        assert g.successor_ids(0) == [2]
+
+    def test_topological_order_respects_edges(self):
+        g = small_graph()
+        order = g.topological_order()
+        assert order.index(2) > order.index(0)
+        assert order.index(3) > order.index(2)
+
+    def test_combinational_cycle_detected(self):
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        x = g.add_node(OpKind.XOR, 4, operands=[Operand(a.nid), Operand(2, 1)])
+        y = g.add_node(OpKind.NOT, 4, operands=[x.nid])
+        # close the cycle combinationally
+        g.set_operand(x.nid, 1, Operand(y.nid, 0))
+        with pytest.raises(ValidationError, match="cycle"):
+            g.topological_order()
+
+    def test_loop_carried_cycle_is_fine(self):
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        x = g.add_node(OpKind.XOR, 4, operands=[Operand(a.nid), Operand(2, 1)])
+        g.add_node(OpKind.NOT, 4, operands=[x.nid])
+        assert len(g.topological_order()) == 3
+
+
+class TestQueries:
+    def test_inputs_outputs_constants(self):
+        b = DFGBuilder("t", width=4)
+        i = b.input("i")
+        b.output(i ^ b.const(3), "o")
+        g = b.build()
+        assert [n.name for n in g.inputs] == ["i"]
+        assert [n.name for n in g.outputs] == ["o"]
+        assert len(g.constants) == 1
+
+    def test_histogram_and_counts(self):
+        g = small_graph()
+        h = g.op_histogram()
+        assert h["input"] == 2 and h["xor"] == 1
+        assert g.num_operations == 1  # xor only (boundary excluded)
+        assert g.total_bits() == 8
+
+    def test_copy_is_deep(self):
+        g = small_graph()
+        clone = g.copy()
+        clone.set_operand(2, 1, 0)
+        assert g.node(2).source_ids == [0, 1]
+        assert clone.node(2).source_ids == [0, 0]
+
+    def test_to_networkx_edges(self):
+        g = small_graph()
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 3

@@ -1,0 +1,89 @@
+"""Unit tests for word-level operation semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.ir import CDFG, OpKind, eval_node, mask, to_signed
+from repro.ir.node import Node
+
+
+def make(kind, width, nops, **kw):
+    ops = [0] * nops  # dummy operand ids; eval_node never follows them
+    from repro.ir.node import Operand
+    return Node(nid=0, kind=kind, width=width,
+                operands=[Operand(0)] * nops, **kw)
+
+
+class TestHelpers:
+    @given(st.integers(), st.integers(min_value=1, max_value=64))
+    def test_mask_range(self, v, w):
+        assert 0 <= mask(v, w) < (1 << w)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_to_signed_roundtrip(self, v):
+        s = to_signed(v, 8)
+        assert -128 <= s <= 127
+        assert mask(s, 8) == v
+
+
+class TestEval:
+    def test_bitwise(self):
+        assert eval_node(make(OpKind.AND, 8, 2), [0xF0, 0x3C], [8, 8]) == 0x30
+        assert eval_node(make(OpKind.OR, 8, 2), [0xF0, 0x3C], [8, 8]) == 0xFC
+        assert eval_node(make(OpKind.XOR, 8, 2), [0xF0, 0x3C], [8, 8]) == 0xCC
+        assert eval_node(make(OpKind.NOT, 8, 1), [0xF0], [8]) == 0x0F
+
+    def test_mux_uses_lsb_of_select(self):
+        assert eval_node(make(OpKind.MUX, 8, 3), [1, 10, 20], [1, 8, 8]) == 10
+        assert eval_node(make(OpKind.MUX, 8, 3), [0, 10, 20], [1, 8, 8]) == 20
+        assert eval_node(make(OpKind.MUX, 8, 3), [2, 10, 20], [2, 8, 8]) == 20
+
+    def test_shifts_truncate(self):
+        assert eval_node(make(OpKind.SHL, 8, 1, amount=4), [0xFF], [8]) == 0xF0
+        assert eval_node(make(OpKind.SHR, 8, 1, amount=4), [0xF0], [8]) == 0x0F
+
+    def test_slice_and_concat(self):
+        assert eval_node(make(OpKind.SLICE, 4, 1, amount=4), [0xAB], [8]) == 0xA
+        assert eval_node(make(OpKind.CONCAT, 12, 2), [0xB, 0xA], [4, 8]) == (0xA << 4) | 0xB
+
+    def test_arith_wraps(self):
+        assert eval_node(make(OpKind.ADD, 8, 2), [0xFF, 2], [8, 8]) == 1
+        assert eval_node(make(OpKind.SUB, 8, 2), [0, 1], [8, 8]) == 0xFF
+        assert eval_node(make(OpKind.NEG, 8, 1), [1], [8]) == 0xFF
+
+    def test_unsigned_compare(self):
+        assert eval_node(make(OpKind.LT, 1, 2), [3, 5], [8, 8]) == 1
+        assert eval_node(make(OpKind.GE, 1, 2), [5, 5], [8, 8]) == 1
+
+    def test_signed_compare(self):
+        # 0x80 = -128 signed
+        assert eval_node(make(OpKind.SLT, 1, 2), [0x80, 0], [8, 8]) == 1
+        assert eval_node(make(OpKind.SGE, 1, 2), [0x7F, 0], [8, 8]) == 1
+
+    def test_variable_shifts_clamp(self):
+        assert eval_node(make(OpKind.VSHR, 8, 2), [0xFF, 200], [8, 8]) == 0
+        assert eval_node(make(OpKind.VSHL, 8, 2), [1, 3], [8, 8]) == 8
+
+    def test_blackbox_arith(self):
+        assert eval_node(make(OpKind.MUL, 8, 2), [16, 17], [8, 8]) == mask(272, 8)
+        assert eval_node(make(OpKind.DIV, 8, 2), [17, 5], [8, 8]) == 3
+        assert eval_node(make(OpKind.MOD, 8, 2), [17, 5], [8, 8]) == 2
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SimulationError, match="zero"):
+            eval_node(make(OpKind.DIV, 8, 2), [1, 0], [8, 8])
+
+    def test_input_has_no_intrinsic_value(self):
+        with pytest.raises(SimulationError):
+            eval_node(make(OpKind.INPUT, 8, 0), [], [])
+
+    def test_const_and_output_passthrough(self):
+        assert eval_node(make(OpKind.CONST, 8, 0, value=300), [], []) == 44
+        assert eval_node(make(OpKind.OUTPUT, 8, 1), [0x1FF], [16]) == 0xFF
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1),
+           st.integers(min_value=0, max_value=2**16 - 1))
+    def test_add_matches_python(self, a, b):
+        assert eval_node(make(OpKind.ADD, 16, 2), [a, b], [16, 16]) \
+            == (a + b) & 0xFFFF

@@ -1,0 +1,170 @@
+"""Unit + property tests for CDFG transformation passes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designs.synthetic import random_dfg
+from repro.ir import (
+    DFGBuilder,
+    OpKind,
+    balance_reduction_trees,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    rebuild,
+)
+from repro.sim.functional import FunctionalSimulator
+
+
+def graph_outputs(graph, stream):
+    return FunctionalSimulator(graph).run(stream)
+
+
+class TestRebuild:
+    def test_ids_become_topological(self, recurrent_graph):
+        g2, mapping = rebuild(recurrent_graph)
+        assert sorted(mapping.values()) == g2.node_ids
+        order = g2.topological_order()
+        # rebuilt ids are consistent with some topological order
+        assert order == sorted(order)
+
+    def test_drop_used_node_rejected(self, fig1_graph):
+        from repro.errors import IRError
+        used = fig1_graph.outputs[0].operands[0].source
+        keep = set(fig1_graph.node_ids) - {used}
+        with pytest.raises(IRError, match="cannot drop"):
+            rebuild(fig1_graph, keep=keep)
+
+
+class TestDeadCode:
+    def test_removes_unreachable_ops(self):
+        b = DFGBuilder("t", width=8)
+        i = b.input("i")
+        live = i ^ 1
+        _dead = i + 2  # never reaches an output
+        b.output(live, "o")
+        g = b.graph
+        g2, _ = eliminate_dead_code(g)
+        assert g2.op_histogram().get("add", 0) == 0
+        assert g2.op_histogram()["xor"] == 1
+
+    def test_keeps_unused_inputs(self):
+        b = DFGBuilder("t", width=8)
+        i = b.input("i")
+        b.input("unused")
+        b.output(i, "o")
+        g2, _ = eliminate_dead_code(b.graph)
+        assert len(g2.inputs) == 2
+
+
+class TestConstantFolding:
+    def test_folds_pure_constant_expression(self):
+        b = DFGBuilder("t", width=8)
+        i = b.input("i")
+        c = (b.const(3) + b.const(4)) ^ b.const(0xF0)
+        b.output(i & c, "o")
+        g2, _ = fold_constants(b.build())
+        consts = [n.value for n in g2.constants]
+        assert 0xF7 in consts
+        assert g2.op_histogram().get("add", 0) == 0
+
+    def test_does_not_fold_across_recurrence(self, recurrent_graph):
+        before = recurrent_graph.op_histogram()
+        g2, _ = fold_constants(recurrent_graph)
+        assert g2.op_histogram()["mux"] == before["mux"]
+
+    def test_semantics_preserved(self, fig1_graph, rng):
+        stream = [{"s": rng.randrange(4), "t": rng.randrange(4)}
+                  for _ in range(16)]
+        g2, _ = fold_constants(fig1_graph)
+        assert graph_outputs(fig1_graph, stream) == graph_outputs(g2, stream)
+
+
+class TestCSE:
+    def test_merges_commutative_duplicates(self):
+        b = DFGBuilder("t", width=8)
+        a, c = b.input("a"), b.input("c")
+        x = a ^ c
+        y = c ^ a
+        b.output(x & y, "o")
+        g2, _ = eliminate_common_subexpressions(b.build())
+        assert g2.op_histogram()["xor"] == 1
+
+    def test_does_not_merge_different_amounts(self):
+        b = DFGBuilder("t", width=8)
+        a = b.input("a")
+        b.output((a >> 1) ^ (a >> 2), "o")
+        g2, _ = eliminate_common_subexpressions(b.build())
+        assert g2.op_histogram()["shr"] == 2
+
+    def test_blackboxes_never_merge(self):
+        b = DFGBuilder("t", width=8)
+        addr = b.input("addr", 4)
+        l1 = b.load(addr, name="m")
+        l2 = b.load(addr, name="m")
+        b.output(l1 ^ l2, "o")
+        g2, _ = eliminate_common_subexpressions(b.build())
+        assert g2.op_histogram()["load"] == 2
+
+
+class TestBalancing:
+    def test_chain_becomes_log_depth(self):
+        b = DFGBuilder("t", width=8)
+        ins = [b.input(f"i{k}") for k in range(8)]
+        acc = ins[0]
+        for v in ins[1:]:
+            acc = acc ^ v
+        b.output(acc, "o")
+        g2, _ = balance_reduction_trees(b.build())
+
+        depth = {}
+        for nid in g2.topological_order():
+            node = g2.node(nid)
+            depth[nid] = 1 + max(
+                (depth[op.source] for op in node.operands
+                 if op.distance == 0), default=0,
+            )
+        xor_depths = [depth[n.nid] for n in g2 if n.kind is OpKind.XOR]
+        assert max(xor_depths) - min(xor_depths) == 2  # log2(8) - 1
+
+    def test_multi_fanout_link_not_collapsed(self):
+        b = DFGBuilder("t", width=8)
+        i1, i2, i3 = (b.input(f"i{k}") for k in range(3))
+        mid = i1 ^ i2
+        top = mid ^ i3
+        b.output(top, "o")
+        b.output(mid, "mid")  # mid has external fanout
+        g2, _ = balance_reduction_trees(b.build())
+        assert g2.op_histogram()["xor"] == 2
+
+    def test_semantics_preserved(self, rng):
+        b = DFGBuilder("t", width=16)
+        ins = [b.input(f"i{k}", 16) for k in range(13)]
+        acc = ins[0]
+        for v in ins[1:]:
+            acc = acc ^ v
+        b.output(acc, "o")
+        g = b.build()
+        g2, _ = balance_reduction_trees(g)
+        stream = [{f"i{k}": rng.randrange(1 << 16) for k in range(13)}
+                  for _ in range(8)]
+        assert graph_outputs(g, stream) == graph_outputs(g2, stream)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_property_passes_preserve_semantics(seed):
+    """DCE + folding + CSE never change observable behaviour."""
+    g = random_dfg(seed, ops=15, width=8, inputs=3, recurrences=1)
+    rng = random.Random(seed + 1)
+    stream = [
+        {f"i{k}": rng.randrange(256) for k in range(3)} for _ in range(10)
+    ]
+    golden = graph_outputs(g, stream)
+    for transform in (eliminate_dead_code, fold_constants,
+                      eliminate_common_subexpressions,
+                      balance_reduction_trees):
+        g, _ = transform(g)
+        assert graph_outputs(g, stream) == golden, transform.__name__

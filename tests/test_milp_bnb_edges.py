@@ -1,0 +1,86 @@
+"""Edge-path tests for the branch-and-bound backend and the LP writer."""
+
+import pytest
+
+from repro.milp import Model, SolveStatus, write_lp
+from repro.milp.bnb import solve_branch_and_bound
+
+
+class TestBnBEdges:
+    def test_node_limit_returns_incumbent_or_error(self):
+        m = Model()
+        xs = [m.binary(f"x{i}") for i in range(12)]
+        expr = xs[0] * 0
+        for i, x in enumerate(xs):
+            expr = expr + (i % 3 + 1) * x
+        m.add(expr <= 10)
+        obj = xs[0] * 0
+        for i, x in enumerate(xs):
+            obj = obj + (7 - i) * x
+        m.maximize(obj)
+        sol = solve_branch_and_bound(m, max_nodes=2)
+        # with a tiny node budget we either get a feasible incumbent or an
+        # explicit error status; never a silently wrong OPTIMAL claim
+        if sol.status == SolveStatus.OPTIMAL:
+            full = m.solve("scipy")
+            assert sol.objective == pytest.approx(full.objective)
+        else:
+            assert sol.status in (SolveStatus.FEASIBLE, SolveStatus.ERROR)
+
+    def test_continuous_only_model(self):
+        m = Model()
+        x = m.continuous("x", 0, 4)
+        y = m.continuous("y", 0, 4)
+        m.add(x + y >= 3)
+        m.minimize(x + 2 * y)
+        sol = solve_branch_and_bound(m)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_unbounded_detected(self):
+        m = Model()
+        x = m.continuous("x", 0, float("inf"))
+        m.add(x >= 1)
+        m.maximize(1 * x)
+        assert m.solve("bnb").status == SolveStatus.UNBOUNDED
+
+    def test_time_limit_zero_still_safe(self):
+        m = Model()
+        x = m.binary("x")
+        m.add(x >= 0)
+        m.minimize(1 * x)
+        sol = solve_branch_and_bound(m, time_limit=0.0)
+        assert sol.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE,
+                              SolveStatus.ERROR)
+
+
+class TestLPWriterEdges:
+    def test_infinite_bounds_rendered(self):
+        m = Model()
+        m.continuous("free", 0.0, float("inf"))
+        m.minimize(m.variables[0] * 1.0)
+        assert "+inf" in write_lp(m)
+
+    def test_names_sanitized(self):
+        m = Model()
+        v = m.binary("c[3,7]")
+        m.add(v <= 1)
+        m.minimize(1 * v)
+        text = write_lp(m)
+        assert "c[3,7]" not in text  # brackets are not legal LP identifiers
+        assert "c_3_7_" in text
+
+    def test_unit_coefficients_compact(self):
+        m = Model()
+        x = m.continuous("x", 0, 1)
+        y = m.continuous("y", 0, 1)
+        m.add(x - y <= 0, name="ord")
+        m.minimize(x + y)
+        text = write_lp(m)
+        assert "ord: x - y <= 0" in text
+
+    def test_empty_objective(self):
+        m = Model()
+        m.binary("x")
+        text = write_lp(m)
+        assert "Minimize" in text and "End" in text

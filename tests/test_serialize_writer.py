@@ -1,0 +1,136 @@
+"""Tests for CDFG serialization, LP export, and testbench generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MapScheduler, SchedulerConfig
+from repro.designs import random_dfg
+from repro.errors import IRError, ModelError
+from repro.ir import graph_from_dict, graph_to_dict, loads as ir_loads, dumps as ir_dumps
+from repro.milp import Model, parse_solution_listing, write_lp
+from repro.rtl import emit_testbench, lint_verilog
+from repro.sim import FunctionalSimulator
+from repro.tech.device import XC7
+
+from .conftest import build_recurrent
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self, recurrent_graph):
+        data = graph_to_dict(recurrent_graph)
+        clone = graph_from_dict(data)
+        assert clone.op_histogram() == recurrent_graph.op_histogram()
+        assert len(clone) == len(recurrent_graph)
+        for nid in recurrent_graph.node_ids:
+            a = recurrent_graph.node(nid)
+            c = clone.node(nid)
+            assert a.kind == c.kind and a.width == c.width
+            assert [(o.source, o.distance) for o in a.operands] == \
+                [(o.source, o.distance) for o in c.operands]
+            assert a.attrs == c.attrs
+
+    def test_roundtrip_preserves_semantics(self, rng):
+        g = build_recurrent()
+        clone = ir_loads(ir_dumps(g))
+        stream = [{"s": rng.randrange(256), "t": rng.randrange(256)}
+                  for _ in range(10)]
+        assert FunctionalSimulator(g).run(stream) == \
+            FunctionalSimulator(clone).run(stream)
+
+    def test_bad_format_version(self):
+        with pytest.raises(IRError, match="format"):
+            graph_from_dict({"format": 99, "nodes": []})
+
+    def test_non_dense_ids_rejected(self):
+        with pytest.raises(IRError, match="dense"):
+            graph_from_dict({
+                "format": 1, "name": "x",
+                "nodes": [{"id": 1, "kind": "input", "width": 4,
+                           "operands": []}],
+            })
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_property_roundtrip_random_graphs(self, seed):
+        g = random_dfg(seed, ops=12, recurrences=1)
+        clone = ir_loads(ir_dumps(g))
+        rng = random.Random(seed)
+        stream = [{f"i{k}": rng.randrange(256) for k in range(3)}
+                  for _ in range(6)]
+        assert FunctionalSimulator(g).run(stream) == \
+            FunctionalSimulator(clone).run(stream)
+
+
+class TestLPWriter:
+    def make_model(self):
+        m = Model("demo")
+        x = m.integer("x", 0, 10)
+        y = m.binary("y[2]")
+        z = m.continuous("z", 0.0, 5.0)
+        m.add(x + 2 * y - z <= 7, name="cap")
+        m.add(x - y >= 1)
+        m.add(z + y == 2)
+        m.minimize(3 * x - y + 0.5 * z)
+        return m, (x, y, z)
+
+    def test_lp_sections_present(self):
+        m, _ = self.make_model()
+        text = write_lp(m)
+        for section in ("Minimize", "Subject To", "Bounds", "Generals",
+                        "Binaries", "End"):
+            assert section in text
+
+    def test_lp_constraint_rendering(self):
+        m, _ = self.make_model()
+        text = write_lp(m)
+        assert "cap:" in text
+        assert "<= 7" in text
+        assert ">= 1" in text
+        assert "= 2" in text
+
+    def test_solution_listing_roundtrip(self):
+        m, (x, y, z) = self.make_model()
+        sol = m.solve("scipy")
+        listing = "\n".join(
+            f"{'x' if v is x else 'y_2_' if v is y else 'z'} "
+            f"{sol[v]}" for v in (x, y, z)
+        )
+        parsed = parse_solution_listing(m, listing)
+        assert parsed.objective == pytest.approx(sol.objective)
+        assert m.check(parsed.values) == []
+
+    def test_unknown_variable_rejected(self):
+        m, _ = self.make_model()
+        with pytest.raises(ModelError, match="unknown variable"):
+            parse_solution_listing(m, "ghost 3")
+
+    def test_unlisted_variables_default_zero(self):
+        m, (x, y, z) = self.make_model()
+        parsed = parse_solution_listing(m, "")
+        assert parsed.values[x.index] == 0.0
+
+
+class TestTestbench:
+    def test_self_checking_structure(self):
+        sched = MapScheduler(build_recurrent(), XC7,
+                             SchedulerConfig(ii=1, tcp=10.0)).schedule()
+        stream = [{"s": 3 * k % 256, "t": 7 * k % 256} for k in range(6)]
+        tb = emit_testbench(sched, XC7, stream)
+        assert "module recur_tb;" in tb
+        assert "dut (" in tb
+        assert tb.count("_gold[") >= 6  # expectations loaded
+        assert "$fatal" in tb and "PASS" in tb
+        assert "TIMEOUT" in tb
+
+    def test_expectations_match_pipeline_replay(self):
+        from repro.sim import PipelineSimulator
+
+        sched = MapScheduler(build_recurrent(), XC7,
+                             SchedulerConfig(ii=1, tcp=10.0)).schedule()
+        stream = [{"s": 11 * k % 256, "t": 5 * k % 256} for k in range(4)]
+        expected = PipelineSimulator(sched, XC7).run(stream)
+        tb = emit_testbench(sched, XC7, stream)
+        for k, row in enumerate(expected):
+            assert f"_gold[{k}] = 8'd{row['out']};" in tb

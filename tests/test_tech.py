@@ -1,0 +1,152 @@
+"""Unit tests for device, delay and area characterization."""
+
+import pytest
+
+from repro.cuts import enumerate_cuts
+from repro.ir import DFGBuilder, OpKind
+from repro.tech import AreaModel, DelayModel, Device, TUTORIAL4, XC7
+
+
+@pytest.fixture
+def mixed_graph():
+    b = DFGBuilder("mix", width=16)
+    a, c = b.input("a"), b.input("c")
+    logic = a ^ c
+    shifted = logic >> 2
+    summed = a + c
+    cmp = summed.sge(0)
+    selected = b.mux(cmp, shifted, summed)
+    loaded = b.load(a.trunc(8), width=16, name="rom")
+    b.output(selected ^ loaded, "o")
+    return b.build()
+
+
+class TestDevice:
+    def test_usable_period(self):
+        assert XC7.usable_period(10.0) == pytest.approx(8.75)
+        assert TUTORIAL4.usable_period(5.0) == pytest.approx(5.0)
+
+    def test_with_resources_merges(self):
+        dev = XC7.with_resources(mem_port=2)
+        dev2 = dev.with_resources(dsp=1)
+        assert dev2.blackbox_counts == {"mem_port": 2, "dsp": 1}
+        assert dev2.k == XC7.k
+        assert dev2.clock_uncertainty == XC7.clock_uncertainty
+
+    def test_lut_level_delay(self):
+        assert XC7.lut_level_delay == pytest.approx(1.4)
+
+
+class TestDelayModel:
+    def test_operator_delays_by_class(self, mixed_graph):
+        dm = DelayModel(XC7, mixed_graph)
+        kinds = {n.kind: n for n in mixed_graph}
+        assert dm.operator_delay(kinds[OpKind.XOR]) == pytest.approx(1.4)
+        assert dm.operator_delay(kinds[OpKind.SHR]) == 0.0
+        assert dm.operator_delay(kinds[OpKind.ADD]) == pytest.approx(
+            0.6 + 0.025 * 16)
+        assert dm.operator_delay(kinds[OpKind.LOAD]) == pytest.approx(2.1)
+        assert dm.operator_delay(kinds[OpKind.INPUT]) == 0.0
+
+    def test_delay_override_wins(self, mixed_graph):
+        dm = DelayModel(XC7, mixed_graph)
+        load = next(n for n in mixed_graph if n.kind is OpKind.LOAD)
+        load.delay_override = 3.7
+        assert dm.operator_delay(load) == 3.7
+
+    def test_cut_delay_one_level_for_feasible(self, mixed_graph):
+        dm = DelayModel(XC7, mixed_graph)
+        cuts = enumerate_cuts(mixed_graph, XC7.k)
+        xor = next(n for n in mixed_graph if n.kind is OpKind.XOR)
+        merged = [c for c in cuts[xor.nid].selectable if not c.is_unit]
+        for cut in merged:
+            assert dm.cut_delay(xor, cut) == pytest.approx(1.4)
+
+    def test_unit_cut_never_slower_than_operator(self, mixed_graph):
+        dm = DelayModel(XC7, mixed_graph)
+        cuts = enumerate_cuts(mixed_graph, XC7.k)
+        for node in mixed_graph:
+            unit = cuts[node.nid].unit
+            if unit is None or node.is_boundary:
+                continue
+            assert dm.cut_delay(node, unit) <= \
+                dm.operator_delay(node) + 1e-9
+
+    def test_infeasible_unit_falls_back_to_operator(self, mixed_graph):
+        dm = DelayModel(XC7, mixed_graph)
+        cuts = enumerate_cuts(mixed_graph, XC7.k)
+        add = next(n for n in mixed_graph if n.kind is OpKind.ADD)
+        unit = cuts[add.nid].unit
+        assert not unit.feasible(XC7.k)
+        assert dm.cut_delay(add, unit) == dm.operator_delay(add)
+
+    def test_free_wiring_for_shift_cones(self, mixed_graph):
+        dm = DelayModel(XC7, mixed_graph)
+        cuts = enumerate_cuts(mixed_graph, XC7.k)
+        shr = next(n for n in mixed_graph if n.kind is OpKind.SHR)
+        assert dm.cut_delay(shr, cuts[shr.nid].unit) == 0.0
+
+    def test_recurrence_phi_is_free(self):
+        b = DFGBuilder("t", width=8)
+        i = b.input("i")
+        r = b.recurrence("r")
+        v = i ^ r
+        v.feed(r)
+        b.output(v, "o")
+        g = b.build()
+        dm = DelayModel(XC7, g)
+        rec = next(n for n in g if n.attrs.get("recurrence"))
+        assert dm.operator_delay(rec) == 0.0
+
+    def test_barrel_shifter_levels(self):
+        b = DFGBuilder("t", width=32)
+        a = b.input("a")
+        s = b.input("s", 5)
+        v = b.op(OpKind.VSHR, a, s)
+        b.output(v, "o")
+        g = b.build()
+        dm = DelayModel(XC7, g)
+        d = dm.operator_delay(v.node)
+        assert d >= 2 * XC7.lut_level_delay  # multiple mux levels
+
+
+class TestAreaModel:
+    def test_paper_cost_is_bits(self, mixed_graph):
+        am = AreaModel(XC7, mixed_graph)
+        xor = next(n for n in mixed_graph if n.kind is OpKind.XOR)
+        assert am.paper_lut_cost(xor) == 16
+
+    def test_blackbox_and_boundary_cost_zero(self, mixed_graph):
+        am = AreaModel(XC7, mixed_graph)
+        cuts = enumerate_cuts(mixed_graph, XC7.k)
+        load = next(n for n in mixed_graph if n.kind is OpKind.LOAD)
+        assert am.cut_lut_cost(load, cuts[load.nid].unit) == 0
+        assert am.operator_lut_cost(load) == 0
+
+    def test_shift_wiring_costs_zero(self, mixed_graph):
+        am = AreaModel(XC7, mixed_graph)
+        cuts = enumerate_cuts(mixed_graph, XC7.k)
+        shr = next(n for n in mixed_graph if n.kind is OpKind.SHR)
+        assert am.cut_lut_cost(shr, cuts[shr.nid].unit) == 0
+
+    def test_carry_chain_costs_width(self, mixed_graph):
+        am = AreaModel(XC7, mixed_graph)
+        add = next(n for n in mixed_graph if n.kind is OpKind.ADD)
+        assert am.operator_lut_cost(add) == 16
+
+    def test_comparator_packs_bits_per_lut(self, mixed_graph):
+        am = AreaModel(XC7, mixed_graph)
+        cmp = next(n for n in mixed_graph if n.kind is OpKind.SGE)
+        assert 1 <= am.operator_lut_cost(cmp) <= 16
+
+    def test_feasible_cone_costs_one_lut_per_active_bit(self, mixed_graph):
+        am = AreaModel(XC7, mixed_graph)
+        cuts = enumerate_cuts(mixed_graph, XC7.k)
+        xor = next(n for n in mixed_graph if n.kind is OpKind.XOR)
+        unit = cuts[xor.nid].unit
+        assert am.cut_lut_cost(xor, unit) == 16
+
+    def test_register_bits(self, mixed_graph):
+        am = AreaModel(XC7, mixed_graph)
+        xor = next(n for n in mixed_graph if n.kind is OpKind.XOR)
+        assert am.register_bits(xor) == 16
