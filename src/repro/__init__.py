@@ -20,10 +20,30 @@ the subpackages for the full API:
 * :mod:`repro.sim` — functional and cycle-accurate simulation
 * :mod:`repro.designs` — the nine paper benchmarks + synthetic generators
 * :mod:`repro.experiments` — Table 1 / Table 2 / Figure 1 / Figure 2 harnesses
+* :mod:`repro.analysis` — static-analysis engine (``python -m repro lint``)
 """
 
 __version__ = "1.0.0"
 
 from .ir import CDFG, DFGBuilder, OpKind, compile_kernel  # noqa: F401
 
-__all__ = ["CDFG", "DFGBuilder", "OpKind", "compile_kernel", "__version__"]
+
+def lint(artifact, device=None, **linter_kwargs):
+    """Lint a CDFG or a Schedule with the static-analysis engine.
+
+    Convenience dispatcher over :func:`repro.analysis.lint_graph` /
+    :func:`repro.analysis.lint_schedule`; returns a
+    :class:`~repro.analysis.DiagnosticReport`.
+    """
+    from .analysis import lint_graph, lint_schedule
+    from .scheduling.schedule import Schedule
+
+    if isinstance(artifact, Schedule):
+        if device is None:
+            raise TypeError("linting a Schedule requires a device")
+        return lint_schedule(artifact, device, **linter_kwargs)
+    return lint_graph(artifact, device=device, **linter_kwargs)
+
+
+__all__ = ["CDFG", "DFGBuilder", "OpKind", "compile_kernel", "lint",
+           "__version__"]

@@ -1,18 +1,29 @@
-"""Command-line entry point: regenerate the paper's evaluation artifacts.
+"""Command-line entry point: regenerate the paper's evaluation artifacts
+and lint designs with the static-analysis engine.
 
 Usage::
 
-    python -m repro table1 [DESIGN ...]
+    python -m repro table1 [DESIGN ...] [--device xc7|--k 4]
     python -m repro table2 [DESIGN ...]
     python -m repro figure1
     python -m repro figure2
     python -m repro ablations
     python -m repro list
+    python -m repro lint [DESIGN|FILE ...] [--format json] [--fail-on warning]
+
+``lint`` accepts benchmark names (case-insensitive) and/or paths to
+serialized CDFG JSON files; with no targets it lints all nine benchmarks.
+It exits 1 when any report reaches the ``--fail-on`` threshold (default
+``error``), making it directly usable as a CI gate. See
+``docs/diagnostics.md`` for the code table and the JSON schema.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import os
 import sys
 
 from .core.config import SchedulerConfig
@@ -24,27 +35,136 @@ def _config(args) -> SchedulerConfig:
                            beta=1.0 - args.alpha, time_limit=args.time_limit)
 
 
-def main(argv: list[str] | None = None) -> int:
+def _device(args):
+    """Resolve ``--device``/``--k`` into a :class:`~repro.tech.device.Device`."""
+    from .tech.device import TUTORIAL4, XC7
+
+    base = {"xc7": XC7, "tutorial4": TUTORIAL4}[args.device]
+    if args.k is not None:
+        base = dataclasses.replace(base, k=args.k)
+    return base
+
+
+def _progress(verb: str):
+    return lambda s: print(f"  {verb} {s}...", file=sys.stderr)
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Mapping-aware modulo scheduling (DAC'15) experiments",
     )
-    parser.add_argument("command",
-                        choices=["table1", "table2", "figure1", "figure2",
-                                 "ablations", "list"])
-    parser.add_argument("designs", nargs="*",
-                        help="benchmark subset (default: all nine)")
-    parser.add_argument("--tcp", type=float, default=10.0,
-                        help="target clock period in ns (default 10)")
-    parser.add_argument("--ii", type=int, default=1,
-                        help="target initiation interval (default 1)")
-    parser.add_argument("--alpha", type=float, default=0.5,
-                        help="Eq. 15 LUT weight; FF weight is 1-alpha")
-    parser.add_argument("--time-limit", type=float, default=120.0,
-                        help="MILP solver cap in seconds (default 120)")
-    args = parser.parse_args(argv)
+    sub = parser.add_subparsers(dest="command", required=True)
 
-    designs = [d.upper() for d in args.designs] or None
+    sched = argparse.ArgumentParser(add_help=False)
+    sched.add_argument("--tcp", type=float, default=10.0,
+                       help="target clock period in ns (default 10)")
+    sched.add_argument("--ii", type=int, default=1,
+                       help="target initiation interval (default 1)")
+    sched.add_argument("--alpha", type=float, default=0.5,
+                       help="Eq. 15 LUT weight; FF weight is 1-alpha")
+    sched.add_argument("--time-limit", type=float, default=120.0,
+                       help="MILP solver cap in seconds (default 120)")
+
+    def device_parent(default: str) -> argparse.ArgumentParser:
+        p = argparse.ArgumentParser(add_help=False)
+        p.add_argument("--device", choices=["xc7", "tutorial4"],
+                       default=default,
+                       help=f"target device model (default {default})")
+        p.add_argument("--k", type=int, default=None,
+                       help="override the device's LUT input count K")
+        return p
+
+    p = sub.add_parser("table1", parents=[sched, device_parent("xc7")],
+                       help="QoR comparison across the four flows (Table 1)")
+    p.add_argument("designs", nargs="*",
+                   help="benchmark subset (default: all nine)")
+
+    p = sub.add_parser("table2", parents=[sched, device_parent("xc7")],
+                       help="MILP sizes and solve times (Table 2)")
+    p.add_argument("designs", nargs="*",
+                   help="benchmark subset (default: all nine)")
+
+    p = sub.add_parser("figure1", parents=[device_parent("tutorial4")],
+                       help="the pipelining tutorial example (Figure 1)")
+    p.add_argument("--tcp", type=float, default=5.0,
+                   help="target clock period in ns (default 5)")
+
+    sub.add_parser("figure2", parents=[device_parent("tutorial4")],
+                   help="cut enumeration on the Figure 2 kernel")
+
+    sub.add_parser("ablations", parents=[sched, device_parent("xc7")],
+                   help="sensitivity sweeps (depth, alpha/beta, K, heuristic)")
+
+    sub.add_parser("list", help="list the registered benchmark designs")
+
+    p = sub.add_parser("lint", parents=[device_parent("xc7")],
+                       help="run the static-analysis rules over designs")
+    p.add_argument("targets", nargs="*", metavar="DESIGN|FILE",
+                   help="benchmark names and/or serialized CDFG JSON files "
+                        "(default: all nine benchmarks)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (default text)")
+    p.add_argument("--fail-on", choices=["error", "warning"],
+                   default="error",
+                   help="exit 1 when any finding reaches this severity "
+                        "(default error)")
+    p.add_argument("--select", action="append", default=[], metavar="CODE",
+                   help="only run rules matching this code or prefix "
+                        "(repeatable; e.g. IR, SCH003)")
+    p.add_argument("--ignore", action="append", default=[], metavar="CODE",
+                   help="skip rules matching this code or prefix (repeatable)")
+    return parser
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import Linter
+
+    linter = Linter(select=args.select or None, ignore=args.ignore or None)
+    device = _device(args)
+    targets = args.targets or list(BENCHMARKS)
+
+    reports = []
+    for target in targets:
+        name = target.upper()
+        if name in BENCHMARKS:
+            graph = BENCHMARKS[name].build()
+        elif os.path.exists(target):
+            from .errors import ReproError
+            from .ir.serialize import load_graph
+
+            # check=False: structurally broken graphs should be *reported*
+            # by the linter, not rejected before it runs.
+            try:
+                graph = load_graph(target, check=False)
+            except (ReproError, ValueError, KeyError, OSError) as exc:
+                print(f"repro lint: failed to load {target!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+        else:
+            print(f"repro lint: unknown design or missing file {target!r}",
+                  file=sys.stderr)
+            return 2
+        reports.append(linter.lint_graph(graph, device=device))
+
+    failed = any(r.fails(args.fail_on) for r in reports)
+    if args.format == "json":
+        from .analysis import SCHEMA_VERSION
+
+        print(json.dumps({
+            "schema": SCHEMA_VERSION,
+            "fail_on": args.fail_on,
+            "failed": failed,
+            "reports": [r.to_dict() for r in reports],
+        }, indent=2))
+    else:
+        for report in reports:
+            print(report.render_text())
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
 
     if args.command == "list":
         for name, spec in BENCHMARKS.items():
@@ -52,34 +172,37 @@ def main(argv: list[str] | None = None) -> int:
                   f"{spec.description}")
         return 0
 
+    if args.command == "lint":
+        return _cmd_lint(args)
+
     if args.command == "table1":
         from .experiments import format_table1, run_table1
 
-        result = run_table1(designs=designs, config=_config(args),
-                            progress=lambda s: print(f"  running {s}...",
-                                                     file=sys.stderr))
+        result = run_table1(designs=[d.upper() for d in args.designs] or None,
+                            device=_device(args), config=_config(args),
+                            progress=_progress("running"))
         print(format_table1(result))
         return 0
 
     if args.command == "table2":
         from .experiments import format_table2, run_table2
 
-        result = run_table2(designs=designs, config=_config(args),
-                            progress=lambda s: print(f"  solving {s}...",
-                                                     file=sys.stderr))
+        result = run_table2(designs=[d.upper() for d in args.designs] or None,
+                            device=_device(args), config=_config(args),
+                            progress=_progress("solving"))
         print(format_table2(result))
         return 0
 
     if args.command == "figure1":
         from .experiments import format_figure1, run_figure1
 
-        print(format_figure1(run_figure1()))
+        print(format_figure1(run_figure1(device=_device(args), tcp=args.tcp)))
         return 0
 
     if args.command == "figure2":
         from .experiments import format_figure2, run_figure2
 
-        print(format_figure2(run_figure2()))
+        print(format_figure2(run_figure2(k=_device(args).k)))
         return 0
 
     if args.command == "ablations":
@@ -94,19 +217,30 @@ def main(argv: list[str] | None = None) -> int:
             sweep_xorr_depth,
         )
 
-        print(format_xorr_depth(sweep_xorr_depth(config=_config(args))))
+        device = _device(args)
+        print(format_xorr_depth(
+            sweep_xorr_depth(device=device, config=_config(args))))
         print()
         print(format_alpha_beta(
-            sweep_alpha_beta(base_config=_config(args)), "GFMUL"))
+            sweep_alpha_beta(device=device, base_config=_config(args)),
+            "GFMUL"))
         print()
-        print(format_k_sweep(sweep_k()))
+        print(format_k_sweep(
+            sweep_k(ks=[args.k] if args.k is not None else None)))
         print()
         print(format_heuristic_gap(
-            sweep_heuristic_gap(config=_config(args))))
+            sweep_heuristic_gap(device=device, config=_config(args))))
         return 0
 
     return 1  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # downstream consumer (head, jq -e ...) closed the pipe early;
+        # suppress the shutdown traceback from flushing stdout
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

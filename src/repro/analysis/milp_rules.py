@@ -1,0 +1,131 @@
+"""MILP model rules (codes ``MILP0xx``).
+
+These inspect a built :class:`repro.milp.model.Model` *before* it is handed
+to a backend, catching modeling bugs that would otherwise surface as an
+opaque solver failure (or worse, as a silently wrong incumbent): constraints
+that can never hold, variables that cannot influence anything, objectives
+that are unbounded by construction, and numerically unusable coefficients.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from .diagnostic import Diagnostic, Severity
+from .registry import AnalysisContext, finding, register
+
+_TOL = 1e-9
+
+
+@register("MILP001", "trivially-infeasible-constraint", "model",
+          Severity.ERROR,
+          "A constraint contains no variables and its constant violates "
+          "its sense; the model can never be feasible.")
+def trivially_infeasible(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for i, con in enumerate(ctx.model.constraints):
+        if any(abs(c) > _TOL for c in con.expr.coeffs.values()):
+            continue
+        k = con.expr.constant
+        bad = ((con.sense == "<=" and k > _TOL)
+               or (con.sense == ">=" and k < -_TOL)
+               or (con.sense == "==" and abs(k) > _TOL))
+        if bad:
+            yield finding(
+                f"constraint {con.name or f'c{i}'} reduces to "
+                f"{k:g} {con.sense} 0 and can never hold",
+                constraint=con.name or f"c{i}",
+                hint="two constants were probably compared while building "
+                     "the expression",
+            )
+
+
+@register("MILP002", "unused-variable", "model", Severity.WARNING,
+          "A variable appears in no constraint and not in the objective.")
+def unused_variable(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    model = ctx.model
+    used: set[int] = {i for i, c in model.objective.coeffs.items()
+                      if abs(c) > _TOL}
+    for con in model.constraints:
+        used.update(i for i, c in con.expr.coeffs.items() if abs(c) > _TOL)
+    for var in model.variables:
+        if var.index not in used:
+            yield finding(
+                f"variable {var.name} ({var.kind}) appears in no "
+                "constraint or objective",
+                constraint=var.name,
+                hint="dead variables bloat the relaxation for nothing",
+            )
+
+
+@register("MILP003", "unbounded-objective", "model", Severity.ERROR,
+          "The objective can improve without limit along an "
+          "unconstrained variable.")
+def unbounded_objective(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    model = ctx.model
+    constrained: set[int] = set()
+    for con in model.constraints:
+        constrained.update(i for i, c in con.expr.coeffs.items()
+                           if abs(c) > _TOL)
+    sign = 1.0 if model.sense == "min" else -1.0
+    for idx, coeff in model.objective.coeffs.items():
+        if abs(coeff) <= _TOL or idx in constrained:
+            continue
+        var = model.variables[idx]
+        improving = sign * coeff
+        if improving < 0 and math.isinf(var.hi):
+            direction = "+inf"
+        elif improving > 0 and math.isinf(var.lo):
+            direction = "-inf"
+        else:
+            continue
+        yield finding(
+            f"objective improves without bound by driving {var.name} "
+            f"to {direction} (no constraint touches it)",
+            constraint=var.name,
+            hint="add the missing constraint or bound the variable",
+        )
+
+
+@register("MILP004", "non-finite-coefficient", "model", Severity.ERROR,
+          "A constraint or objective contains a NaN or infinite "
+          "coefficient/constant.")
+def non_finite_coefficient(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    model = ctx.model
+
+    def bad(values) -> bool:
+        return any(not math.isfinite(v) for v in values)
+
+    if bad(model.objective.coeffs.values()) or \
+            not math.isfinite(model.objective.constant):
+        yield finding("objective contains a non-finite coefficient",
+                      constraint="objective")
+    for i, con in enumerate(model.constraints):
+        if bad(con.expr.coeffs.values()) or \
+                not math.isfinite(con.expr.constant):
+            yield finding(
+                f"constraint {con.name or f'c{i}'} contains a non-finite "
+                "coefficient",
+                constraint=con.name or f"c{i}",
+            )
+
+
+@register("MILP005", "duplicate-constraint", "model", Severity.INFO,
+          "Two constraints are identical after normalization.")
+def duplicate_constraint(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    seen: dict[tuple, str] = {}
+    for i, con in enumerate(ctx.model.constraints):
+        key = (con.sense,
+               round(con.expr.constant, 9),
+               tuple(sorted((idx, round(c, 9))
+                            for idx, c in con.expr.coeffs.items()
+                            if abs(c) > _TOL)))
+        name = con.name or f"c{i}"
+        if key in seen:
+            yield finding(
+                f"constraint {name} duplicates {seen[key]}",
+                constraint=name,
+                hint="duplicates are harmless but slow the solver",
+            )
+        else:
+            seen[key] = name

@@ -6,146 +6,71 @@ feasibility, root/boundary consistency, cycle-time budgets, dependence and
 recurrence timing, and black-box resource limits. Every scheduler in the
 library funnels its result through :func:`verify_schedule`, so a formulation
 bug cannot silently ship a bogus QoR number.
+
+The constraint checks themselves live in
+:mod:`repro.analysis.schedule_rules` as registered rules (codes
+``SCH001``–``SCH010``); :func:`schedule_problems` is the backward-compatible
+string facade and :func:`verify_schedule` raises with the full
+:class:`~repro.analysis.DiagnosticReport` attached.
 """
 
 from __future__ import annotations
 
 from ..errors import ScheduleVerificationError
-from ..ir.types import OpKind
 from ..scheduling.schedule import Schedule
-from ..tech.delay import DelayModel
 from ..tech.device import Device
 
 __all__ = ["verify_schedule", "schedule_problems"]
 
-_TOL = 1e-6
-
 
 def schedule_problems(schedule: Schedule, device: Device) -> list[str]:
     """Return all constraint violations (empty list = valid)."""
-    problems: list[str] = []
-    graph = schedule.graph
-    tcp = schedule.tcp
-    ii = schedule.ii
-    delay_model = DelayModel(device, graph)
+    from ..analysis import schedule_rules
+    from ..analysis.registry import AnalysisContext
 
-    def impl_delay(nid: int) -> float:
-        node = graph.node(nid)
-        cut = schedule.cover.get(nid)
-        if cut is None:
-            return 0.0
-        return delay_model.cut_delay(node, cut)
+    ctx = AnalysisContext(graph=schedule.graph, schedule=schedule,
+                          device=device)
 
-    def abs_start(nid: int) -> float:
-        return schedule.cycle[nid] * tcp + schedule.start.get(nid, 0.0)
-
-    # -- structural: everything scheduled -------------------------------
-    for node in graph:
-        if node.kind is OpKind.CONST:
-            continue
-        if node.nid not in schedule.cycle:
-            problems.append(f"node {node.nid} is unscheduled")
+    problems = [d.message for d in schedule_rules.unscheduled_node(ctx)]
     if problems:
         return problems
 
-    # -- cover legality --------------------------------------------------
-    covered: set[int] = set()
-    for nid, cut in schedule.cover.items():
-        node = graph.node(nid)
-        if cut.root != nid:
-            problems.append(f"cover[{nid}] is a cut of node {cut.root}")
-            continue
-        covered.add(nid)
-        covered.update(cut.interior)
-        if node.is_mappable and not cut.is_unit and not cut.feasible(device.k):
-            problems.append(
-                f"root {nid} selected an infeasible non-unit cut "
-                f"(support {cut.max_support} > K={device.k})"
-            )
-        for u in cut.boundary:
-            un = graph.node(u)
-            if un.kind in (OpKind.CONST, OpKind.INPUT):
-                continue
-            if u not in schedule.cover:
-                problems.append(
-                    f"cut input {u} of root {nid} is not itself a root"
-                )
-    for node in graph:
-        if not node.is_mappable:
-            continue
-        if node.nid not in covered:
-            problems.append(f"operation {node.nid} is not covered by any cone")
+    # The historical checker walked the cover once, emitting root-mismatch,
+    # infeasibility and cut-input findings per entry; merge the per-rule
+    # streams back into that interleaved order.
+    entry_order = {nid: i for i, nid in enumerate(schedule.cover)}
+    legality: list[tuple[int, int, int, str]] = []
+    cover_checks = (schedule_rules.cover_root_mismatch,
+                    schedule_rules.infeasible_cut,
+                    schedule_rules.cut_input_not_root)
+    for check_idx, check in enumerate(cover_checks):
+        for seq, diag in enumerate(check(ctx)):
+            pos = entry_order.get(diag.node, len(entry_order))
+            legality.append((pos, check_idx, seq, diag.message))
+    legality.sort(key=lambda item: (item[0], item[1], item[2]))
+    problems = [message for _, _, _, message in legality]
 
-    # -- interior nodes execute at their root's time ----------------------
-    for nid, cut in schedule.cover.items():
-        for w in cut.interior:
-            if w not in schedule.cycle:
-                continue
-            if schedule.cycle[w] != schedule.cycle[nid] or \
-                    abs(schedule.start.get(w, 0.0)
-                        - schedule.start.get(nid, 0.0)) > 1e-4:
-                problems.append(
-                    f"interior node {w} not co-timed with root {nid}"
-                )
-
-    # -- cycle-time budget (Eq. 8) ----------------------------------------
-    for nid in schedule.cover:
-        lv = schedule.start.get(nid, 0.0)
-        d = impl_delay(nid)
-        if lv + d > tcp + _TOL:
-            problems.append(
-                f"root {nid}: start {lv:.3f} + delay {d:.3f} exceeds "
-                f"Tcp {tcp:.3f}"
-            )
-
-    # -- chaining across cut entries (Eq. 9) -------------------------------
-    for nid, cut in schedule.cover.items():
-        for u, dist in cut.entries:
-            un = graph.node(u)
-            if un.kind is OpKind.CONST:
-                continue
-            u_finish = abs_start(u) + impl_delay(u)
-            v_start = abs_start(nid) + tcp * ii * dist
-            if u_finish > v_start + _TOL:
-                problems.append(
-                    f"entry {u}@{dist} of root {nid} finishes at "
-                    f"{u_finish:.3f} after the cone starts at {v_start:.3f}"
-                )
-
-    # -- dependence distances (Eq. 7) ---------------------------------------
-    for node in graph:
-        if node.kind is OpKind.CONST:
-            continue
-        for op in node.operands:
-            if graph.node(op.source).kind is OpKind.CONST:
-                continue
-            if schedule.cycle[op.source] > schedule.cycle[node.nid] \
-                    + ii * op.distance:
-                problems.append(
-                    f"dependence {op.source} -> {node.nid} "
-                    f"(distance {op.distance}) violated"
-                )
-
-    # -- black-box resources (Eq. 14) ----------------------------------------
-    usage: dict[tuple[str, int], int] = {}
-    for node in graph:
-        if node.is_blackbox and node.rclass:
-            slot = schedule.cycle[node.nid] % ii
-            usage[(node.rclass, slot)] = usage.get((node.rclass, slot), 0) + 1
-    for (rclass, slot), used in usage.items():
-        cap = device.blackbox_counts.get(rclass)
-        if cap is not None and used > cap:
-            problems.append(
-                f"resource {rclass}: {used} ops in modulo slot {slot} "
-                f"but only {cap} available"
-            )
-
+    for check in (schedule_rules.uncovered_operation,
+                  schedule_rules.interior_not_cotimed,
+                  schedule_rules.cycle_budget_exceeded,
+                  schedule_rules.chaining_violation,
+                  schedule_rules.dependence_violation,
+                  schedule_rules.resource_oversubscribed):
+        problems.extend(d.message for d in check(ctx))
     return problems
 
 
 def verify_schedule(schedule: Schedule, device: Device) -> Schedule:
-    """Raise :class:`ScheduleVerificationError` on any violation."""
-    problems = schedule_problems(schedule, device)
-    if problems:
-        raise ScheduleVerificationError(problems)
+    """Raise :class:`ScheduleVerificationError` on any violation.
+
+    The full diagnostic report (including sub-error findings such as
+    recurrence-slack warnings) rides along on the exception's ``report``
+    attribute for machine consumption.
+    """
+    from ..analysis import lint_schedule
+
+    report = lint_schedule(schedule, device)
+    errors = report.filter(min_severity="error")
+    if errors:
+        raise ScheduleVerificationError(errors.messages(), report=report)
     return schedule

@@ -20,6 +20,22 @@ class ValidationError(IRError):
     """A CDFG failed structural validation."""
 
 
+class AnalysisError(ReproError):
+    """Static analysis found blocking diagnostics.
+
+    Attributes
+    ----------
+    report:
+        The :class:`~repro.analysis.DiagnosticReport` that tripped the
+        failure threshold, when available (``None`` for configuration
+        errors inside the analysis engine itself).
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class FrontendError(ReproError):
     """The mini-language frontend rejected a program."""
 
@@ -54,13 +70,30 @@ class ScheduleVerificationError(SchedulingError):
     ----------
     violations:
         Human-readable descriptions of every violated constraint.
+    report:
+        Optional :class:`~repro.analysis.DiagnosticReport` with the full
+        machine-readable findings (codes, severities, locations).
     """
 
-    def __init__(self, violations: list[str]) -> None:
+    #: How many violations :meth:`__str__` renders before truncating —
+    #: a schedule can violate thousands of constraints at once, and a
+    #: traceback is not the place for all of them.
+    MAX_RENDERED = 5
+
+    def __init__(self, violations: list[str], report=None) -> None:
         self.violations = list(violations)
-        preview = "; ".join(self.violations[:5])
-        more = "" if len(self.violations) <= 5 else f" (+{len(self.violations) - 5} more)"
-        super().__init__(f"schedule verification failed: {preview}{more}")
+        self.report = report
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        shown = self.violations[:self.MAX_RENDERED]
+        hidden = len(self.violations) - len(shown)
+        preview = "; ".join(shown)
+        more = f" (+{hidden} more)" if hidden > 0 else ""
+        return f"schedule verification failed: {preview}{more}"
+
+    def __str__(self) -> str:
+        return self._render()
 
 
 class MappingError(ReproError):

@@ -46,14 +46,25 @@ class FlowResult:
 
 def run_flow(graph: CDFG, method: str, device: Device = XC7,
              config: SchedulerConfig | None = None,
-             design: str | None = None) -> FlowResult:
-    """Run one Table 1 flow on ``graph`` and evaluate the hardware."""
+             design: str | None = None, lint: bool = True) -> FlowResult:
+    """Run one Table 1 flow on ``graph`` and evaluate the hardware.
+
+    Unless ``lint=False``, the design is first checked by the static
+    analyzer and error-severity findings abort the flow with
+    :class:`~repro.errors.AnalysisError` (the report rides on the
+    exception) — a scheduler fed a malformed or DEP-unsound graph would
+    otherwise produce QoR numbers that look valid.
+    """
     config = config or SchedulerConfig()
     if method not in ("hls-tool", "milp-base", "milp-map", "heur-map"):
         raise ExperimentError(
             f"unknown method {method!r}; expected one of "
             f"{METHODS + ('heur-map',)}"
         )
+    if lint:
+        from ..analysis import lint_graph
+
+        lint_graph(graph, device=device).raise_if("error")
     if method == "hls-tool":
         result = CommercialHLSProxy(graph, device, tcp=config.tcp)\
             .run(target_ii=config.ii)

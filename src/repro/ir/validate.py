@@ -1,10 +1,20 @@
-"""Structural validation for CDFGs."""
+"""Structural validation for CDFGs.
+
+This module is a thin backward-compatible facade over the rule-based
+analysis engine (:mod:`repro.analysis`): every check lives in
+:mod:`repro.analysis.ir_rules` with a stable diagnostic code, and
+:func:`check_problems` re-assembles the historical plain-string output —
+same messages, same ordering, same early-exit behaviour — for callers that
+predate the engine. New code should prefer
+:func:`repro.analysis.lint_graph`, which also runs the semantic rules
+(width inference, dead MUX arms, constant folding, DEP soundness) that have
+no string-based equivalent.
+"""
 
 from __future__ import annotations
 
 from ..errors import ValidationError
 from .graph import CDFG
-from .types import OpKind
 
 __all__ = ["validate", "check_problems"]
 
@@ -14,79 +24,47 @@ def check_problems(graph: CDFG, require_outputs: bool = True) -> list[str]:
 
     Checks, in order:
 
-    * every operand source refers to an existing node;
-    * constants fit their declared width;
-    * MUX selects are 1 bit wide;
-    * OUTPUT nodes are sinks (no consumers) and INPUT/CONST have no operands;
-    * distance-0 edges form a DAG;
-    * (optionally) at least one primary output exists and every operation
-      reaches one — dead code would silently distort area numbers.
+    * every operand source refers to an existing node (``IR001``);
+    * constants fit their declared width (``IR002``);
+    * MUX selects are 1 bit wide (``IR003``);
+    * OUTPUT nodes are sinks (``IR004``) and SLICEs stay in range (``IR005``);
+    * distance-0 edges form a DAG (``IR006``);
+    * (optionally) at least one primary output exists (``IR007``) and every
+      operation reaches one (``IR008``) — dead code would silently distort
+      area numbers.
     """
-    problems: list[str] = []
-    for node in graph:
-        for idx, op in enumerate(node.operands):
-            if op.source not in graph:
-                problems.append(
-                    f"node {node.nid} operand {idx} references missing node {op.source}"
-                )
+    from ..analysis import ir_rules
+    from ..analysis.registry import AnalysisContext
+
+    ctx = AnalysisContext(graph=graph)
+
+    problems = [d.message for d in ir_rules.missing_operand_source(ctx)]
     if problems:
         return problems  # later checks assume well-formed edges
 
-    for node in graph:
-        if node.kind is OpKind.CONST and node.value is not None:
-            if node.value < 0 or node.value >= (1 << node.width):
-                problems.append(
-                    f"const {node.nid} value {node.value} does not fit width {node.width}"
-                )
-        if node.kind is OpKind.MUX:
-            sel = graph.node(node.operands[0].source)
-            if sel.width != 1:
-                problems.append(
-                    f"mux {node.nid} select (node {sel.nid}) has width {sel.width} != 1"
-                )
-        if node.kind is OpKind.OUTPUT and graph.uses(node.nid):
-            problems.append(f"output {node.nid} has consumers")
-        if node.kind is OpKind.SLICE:
-            src = graph.node(node.operands[0].source)
-            if node.amount + node.width > src.width:
-                problems.append(
-                    f"slice {node.nid} [{node.amount}+:{node.width}] exceeds "
-                    f"source width {src.width}"
-                )
+    # The historical checker ran these four checks node by node; merge the
+    # per-rule streams back into that interleaved order.
+    per_node: list[tuple[int, int, str]] = []
+    node_checks = (ir_rules.const_overflow, ir_rules.mux_select_width,
+                   ir_rules.output_not_sink, ir_rules.slice_out_of_range)
+    for check_idx, check in enumerate(node_checks):
+        for diag in check(ctx):
+            nid = diag.node if diag.node is not None else -1
+            per_node.append((nid, check_idx, diag.message))
+    per_node.sort(key=lambda item: (item[0], item[1]))
+    problems = [message for _, _, message in per_node]
 
-    try:
-        graph.topological_order()
-    except ValidationError as exc:
-        problems.append(str(exc))
+    cycle = [d.message for d in ir_rules.combinational_cycle(ctx)]
+    if cycle:
+        problems.extend(cycle)
         return problems
 
     if require_outputs:
-        if not graph.outputs:
-            problems.append("graph has no primary outputs")
-        else:
-            live = _live_set(graph)
-            for node in graph:
-                if not node.is_boundary and node.nid not in live:
-                    problems.append(
-                        f"dead operation {node.nid} ({node.kind.value}) "
-                        "does not reach any output"
-                    )
+        no_outputs = [d.message for d in ir_rules.no_primary_outputs(ctx)]
+        problems.extend(no_outputs)
+        if not no_outputs:
+            problems.extend(d.message for d in ir_rules.dead_operation(ctx))
     return problems
-
-
-def _live_set(graph: CDFG) -> set[int]:
-    """Nodes backward-reachable from outputs (across any distance)."""
-    live: set[int] = set()
-    stack = [out.nid for out in graph.outputs]
-    while stack:
-        nid = stack.pop()
-        if nid in live:
-            continue
-        live.add(nid)
-        for op in graph.node(nid).operands:
-            if op.source not in live:
-                stack.append(op.source)
-    return live
 
 
 def validate(graph: CDFG, require_outputs: bool = True) -> None:

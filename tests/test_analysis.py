@@ -1,0 +1,638 @@
+"""Unit tests for the static-analysis engine (repro.analysis).
+
+Every diagnostic code gets at least one trigger test and the corresponding
+clean case; the backward-compatible wrappers are checked to return the seed
+behavior (empty problem lists) on all nine benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    DiagnosticReport,
+    Linter,
+    SCHEMA_VERSION,
+    Severity,
+    all_rules,
+    lint_graph,
+    lint_model,
+    lint_schedule,
+    rule_for,
+)
+from repro.core import MapScheduler, SchedulerConfig, schedule_problems
+from repro.designs.registry import BENCHMARKS
+from repro.errors import AnalysisError
+from repro.ir import CDFG, DFGBuilder, OpKind, Operand, check_problems
+from repro.milp.model import LinExpr, Model
+from repro.tech.device import TUTORIAL4, XC7
+
+from .conftest import build_fig1, build_recurrent
+
+
+def codes_of(report: DiagnosticReport) -> set[str]:
+    return report.codes()
+
+
+@pytest.fixture
+def mapped_schedule():
+    return MapScheduler(build_fig1(), TUTORIAL4,
+                        SchedulerConfig(ii=1, tcp=5.0)).schedule()
+
+
+# ----------------------------------------------------------------------
+# IR rules
+# ----------------------------------------------------------------------
+
+class TestIRRules:
+    def test_clean_graph_has_no_findings(self, fig1_graph):
+        report = lint_graph(fig1_graph)
+        assert len(report) == 0
+        assert report.worst is None
+
+    def test_ir001_missing_operand_source(self):
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        x = g.add_node(OpKind.NOT, 4, operands=[Operand(a.nid)])
+        g.add_node(OpKind.OUTPUT, 4, operands=[x.nid], name="o")
+        g.set_operand(x.nid, 0, Operand(77, 1))
+        report = lint_graph(g)
+        assert "IR001" in codes_of(report)
+
+    def test_ir001_gates_other_structural_rules(self):
+        # A graph with a dangling operand AND an overflowing const: only the
+        # well-formedness establisher may report; gated rules are skipped.
+        g = CDFG()
+        c = g.add_node(OpKind.CONST, 4, value=3)
+        c.value = 99
+        x = g.add_node(OpKind.NOT, 4, operands=[Operand(c.nid)])
+        g.add_node(OpKind.OUTPUT, 4, operands=[x.nid], name="o")
+        g.set_operand(x.nid, 0, Operand(77, 1))
+        report = lint_graph(g)
+        assert "IR001" in codes_of(report)
+        assert "IR002" not in codes_of(report)
+
+    def test_ir002_const_overflow(self):
+        g = CDFG()
+        c = g.add_node(OpKind.CONST, 4, value=3)
+        c.value = 99
+        g.add_node(OpKind.OUTPUT, 4, operands=[c.nid], name="o")
+        assert "IR002" in codes_of(lint_graph(g))
+
+    def test_ir003_mux_select_width(self):
+        g = CDFG()
+        sel = g.add_node(OpKind.INPUT, 2, name="sel")
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        m = g.add_node(OpKind.MUX, 4, operands=[sel.nid, a.nid, a.nid])
+        g.add_node(OpKind.OUTPUT, 4, operands=[m.nid], name="o")
+        assert "IR003" in codes_of(lint_graph(g))
+
+    def test_ir004_output_not_sink(self):
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        o = g.add_node(OpKind.OUTPUT, 4, operands=[a.nid], name="o")
+        g.add_node(OpKind.NOT, 4, operands=[o.nid])
+        assert "IR004" in codes_of(lint_graph(g))
+
+    def test_ir005_slice_out_of_range(self):
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        s = g.add_node(OpKind.SLICE, 3, operands=[a.nid], amount=2)
+        g.add_node(OpKind.OUTPUT, 3, operands=[s.nid], name="o")
+        assert "IR005" in codes_of(lint_graph(g))
+
+    def test_ir006_combinational_cycle(self):
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        x = g.add_node(OpKind.NOT, 4, operands=[Operand(a.nid)])
+        y = g.add_node(OpKind.NOT, 4, operands=[Operand(x.nid)])
+        g.add_node(OpKind.OUTPUT, 4, operands=[y.nid], name="o")
+        g.set_operand(x.nid, 0, Operand(y.nid, 0))  # x <- y <- x, distance 0
+        report = lint_graph(g)
+        assert "IR006" in codes_of(report)
+        diag = report.by_code("IR006")[0]
+        # The reported set is the cycle plus anything locked behind it.
+        assert {x.nid, y.nid} <= set(diag.nodes)
+
+    def test_ir006_loop_carried_edge_is_not_a_cycle(self, recurrent_graph):
+        assert "IR006" not in codes_of(lint_graph(recurrent_graph))
+
+    def test_ir007_no_primary_outputs(self):
+        g = CDFG()
+        g.add_node(OpKind.INPUT, 4, name="a")
+        assert "IR007" in codes_of(lint_graph(g))
+
+    def test_ir008_dead_operation(self):
+        b = DFGBuilder("t", width=4)
+        i = b.input("i")
+        _dead = i ^ 1
+        b.output(i, "o")
+        assert "IR008" in codes_of(lint_graph(b.graph))
+
+    def test_ir010_width_mismatch(self):
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        bn = g.add_node(OpKind.INPUT, 4, name="b")
+        s = g.add_node(OpKind.ADD, 12, operands=[a.nid, bn.nid])
+        g.add_node(OpKind.OUTPUT, 12, operands=[s.nid], name="o")
+        report = lint_graph(g)
+        assert "IR010" in codes_of(report)
+        assert report.by_code("IR010")[0].severity is Severity.WARNING
+
+    def test_ir010_carry_bit_is_fine(self):
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        bn = g.add_node(OpKind.INPUT, 4, name="b")
+        s = g.add_node(OpKind.ADD, 5, operands=[a.nid, bn.nid])
+        g.add_node(OpKind.OUTPUT, 5, operands=[s.nid], name="o")
+        assert "IR010" not in codes_of(lint_graph(g))
+
+    def test_ir011_constant_select(self):
+        b = DFGBuilder("t", width=4)
+        a = b.input("a")
+        c = b.input("c")
+        m = b.mux(b.const(1, 1), a, c)
+        b.output(m, "o")
+        report = lint_graph(b.graph)
+        assert "IR011" in codes_of(report)
+        assert "arm 2" in report.by_code("IR011")[0].message
+
+    def test_ir011_identical_arms(self):
+        b = DFGBuilder("t", width=4)
+        a = b.input("a")
+        sel = b.input("s", 1)
+        m = b.mux(sel, a, a)
+        b.output(m, "o")
+        report = lint_graph(b.graph)
+        assert any("identical arms" in d.message
+                   for d in report.by_code("IR011"))
+
+    def test_ir012_constant_foldable(self):
+        b = DFGBuilder("t", width=4)
+        a = b.input("a")
+        k = b.const(3) ^ b.const(5)  # compile-time constant
+        b.output(a & k, "o")
+        report = lint_graph(b.graph)
+        assert "IR012" in codes_of(report)
+
+    def test_ir012_reports_frontier_only(self):
+        b = DFGBuilder("t", width=4)
+        a = b.input("a")
+        k1 = b.const(3) ^ b.const(5)
+        k2 = k1 & b.const(6)  # frontier: only k2 feeds non-const logic
+        b.output(a & k2, "o")
+        report = lint_graph(b.graph)
+        assert [d.node for d in report.by_code("IR012")] == [k2.nid]
+
+    def test_ir013_unused_input(self):
+        b = DFGBuilder("t", width=4)
+        a = b.input("a")
+        _unused = b.input("spare")
+        b.output(a, "o")
+        report = lint_graph(b.graph)
+        assert "IR013" in codes_of(report)
+        assert report.by_code("IR013")[0].severity is Severity.INFO
+
+
+# ----------------------------------------------------------------------
+# DEP soundness
+# ----------------------------------------------------------------------
+
+class TestDepSoundness:
+    def test_dep001_clean_on_real_dep(self, fig1_graph, recurrent_graph):
+        for g in (fig1_graph, recurrent_graph):
+            assert "DEP001" not in codes_of(lint_graph(g))
+
+    def test_dep001_fires_on_underapproximate_dep(self, monkeypatch):
+        import repro.analysis.dep_rules as dep_rules
+
+        b = DFGBuilder("t", width=4)
+        x = b.input("x")
+        y = b.input("y")
+        b.output(x ^ y, "o")
+        monkeypatch.setattr(dep_rules, "dep_bits",
+                            lambda graph, node, j: [])
+        report = lint_graph(b.graph)
+        assert "DEP001" in codes_of(report)
+        diag = report.by_code("DEP001")[0]
+        assert diag.severity is Severity.ERROR
+        assert "omits operand" in diag.message
+
+    def test_dep001_respects_sign_test_refinement(self):
+        # DEP keeps only the MSB of `x >= 0`; the blasted borrow chain
+        # touches every bit structurally — must NOT be reported.
+        b = DFGBuilder("t", width=6)
+        x = b.input("x")
+        b.output(x.sge(0), "o")
+        assert "DEP001" not in codes_of(lint_graph(b.graph))
+
+    def test_dep001_budget_zero_disables(self, monkeypatch):
+        import repro.analysis.dep_rules as dep_rules
+
+        b = DFGBuilder("t", width=4)
+        x = b.input("x")
+        y = b.input("y")
+        b.output(x ^ y, "o")
+        monkeypatch.setattr(dep_rules, "dep_bits",
+                            lambda graph, node, j: [])
+        report = lint_graph(b.graph, options={"dep_nodes": 0})
+        assert "DEP001" not in codes_of(report)
+
+
+# ----------------------------------------------------------------------
+# Schedule rules
+# ----------------------------------------------------------------------
+
+class TestScheduleRules:
+    def test_clean_schedule_has_no_errors(self, mapped_schedule):
+        report = lint_schedule(mapped_schedule, TUTORIAL4)
+        assert not report.errors
+
+    def test_sch001_unscheduled(self, mapped_schedule):
+        nid = next(iter(mapped_schedule.cycle))
+        del mapped_schedule.cycle[nid]
+        report = lint_schedule(mapped_schedule, TUTORIAL4)
+        assert "SCH001" in codes_of(report)
+        # SCH001 breaks the scheduled gate: no timing rule may crash/report.
+        assert codes_of(report) == {"SCH001"}
+
+    def test_sch002_root_mismatch(self, mapped_schedule):
+        roots = [nid for nid, cut in mapped_schedule.cover.items()]
+        a, b = roots[0], roots[1]
+        mapped_schedule.cover[a] = mapped_schedule.cover[b]
+        report = lint_schedule(mapped_schedule, TUTORIAL4)
+        assert "SCH002" in codes_of(report)
+
+    def test_sch003_infeasible_cut(self, mapped_schedule):
+        tight = dataclasses.replace(TUTORIAL4, k=1)
+        report = lint_schedule(mapped_schedule, tight)
+        assert "SCH003" in codes_of(report)
+
+    def test_sch004_cut_input_not_root(self, mapped_schedule):
+        # Drop a *mappable* root that feeds another cone's boundary (INPUT
+        # boundary values are exempt from the roots-only rule).
+        graph = mapped_schedule.graph
+        boundary_feeders = set()
+        for nid, cut in mapped_schedule.cover.items():
+            for u in cut.boundary:
+                if u in mapped_schedule.cover and graph.node(u).is_mappable:
+                    boundary_feeders.add(u)
+        victim = sorted(boundary_feeders)[0]
+        del mapped_schedule.cover[victim]
+        report = lint_schedule(mapped_schedule, TUTORIAL4)
+        assert {"SCH004", "SCH005"} <= codes_of(report)
+
+    def test_sch007_cycle_budget(self, mapped_schedule):
+        nid = next(iter(mapped_schedule.cover))
+        mapped_schedule.start[nid] = mapped_schedule.tcp + 1.0
+        report = lint_schedule(mapped_schedule, TUTORIAL4)
+        assert "SCH007" in codes_of(report)
+
+    def test_sch008_chaining_violation(self, mapped_schedule):
+        # Push a boundary producer's start late without moving its consumer.
+        for nid, cut in mapped_schedule.cover.items():
+            feeders = [u for u in cut.boundary if u in mapped_schedule.cover]
+            if feeders:
+                mapped_schedule.start[feeders[0]] = mapped_schedule.tcp - 0.01
+                break
+        report = lint_schedule(mapped_schedule, TUTORIAL4)
+        assert {"SCH007", "SCH008"} & codes_of(report)
+
+    def test_sch009_dependence_violation(self, mapped_schedule):
+        out = mapped_schedule.graph.outputs[0]
+        src = out.operands[0].source
+        mapped_schedule.cycle[src] = mapped_schedule.cycle[out.nid] + 5
+        report = lint_schedule(mapped_schedule, TUTORIAL4)
+        assert "SCH009" in codes_of(report)
+
+    def test_sch010_resource_oversubscribed(self):
+        b = DFGBuilder("mem", width=8)
+        addr = b.input("addr")
+        v1 = b.load(addr, name="l1")
+        v2 = b.load(addr + 1, name="l2")
+        b.output(v1 ^ v2, "o")
+        graph = b.build()
+        sched = MapScheduler(graph, XC7,
+                             SchedulerConfig(ii=1, tcp=20.0)).schedule()
+        # At II=1 every op shares modulo slot 0, so linting against a
+        # single-port device must flag the two loads.
+        capped = dataclasses.replace(XC7, blackbox_counts={"mem_port": 1})
+        report = lint_schedule(sched, capped)
+        assert "SCH010" in codes_of(report)
+
+    def test_sch011_duplicated_logic(self, mapped_schedule):
+        # Graft one root's node into another cone's interior.
+        roots = list(mapped_schedule.cover)
+        a, b = roots[0], roots[1]
+        cut = mapped_schedule.cover[a]
+        mapped_schedule.cover[a] = dataclasses.replace(
+            cut, interior=frozenset(set(cut.interior) | {b}))
+        report = lint_schedule(mapped_schedule, TUTORIAL4)
+        assert "SCH011" in codes_of(report)
+        assert report.by_code("SCH011")[0].severity is Severity.INFO
+
+    def test_sch012_recurrence_slack(self):
+        graph = build_recurrent()
+        sched = MapScheduler(graph, TUTORIAL4,
+                             SchedulerConfig(ii=1, tcp=10.0)).schedule()
+        # Shrink the period until the loop-carried budget is within one LUT
+        # level of the (zero) implementation delays we leave in place.
+        sched.tcp = TUTORIAL4.lut_level_delay * 0.5
+        for nid in list(sched.cover):
+            del sched.cover[nid]
+        report = lint_schedule(sched, TUTORIAL4)
+        assert "SCH012" in codes_of(report)
+        assert report.by_code("SCH012")[0].severity is Severity.WARNING
+
+    def test_sch012_quiet_on_relaxed_clock(self, recurrent_graph):
+        sched = MapScheduler(recurrent_graph, TUTORIAL4,
+                             SchedulerConfig(ii=1, tcp=10.0)).schedule()
+        report = lint_schedule(sched, TUTORIAL4)
+        assert "SCH012" not in codes_of(report)
+
+
+# ----------------------------------------------------------------------
+# MILP rules
+# ----------------------------------------------------------------------
+
+class TestMilpRules:
+    def test_clean_model(self):
+        m = Model("clean")
+        x = m.binary("x")
+        y = m.integer("y", lo=0, hi=10)
+        m.add(x + 2 * y <= 7, name="cap")
+        m.minimize(x + y)
+        assert len(lint_model(m)) == 0
+
+    def test_milp001_trivially_infeasible(self):
+        m = Model("bad")
+        x = m.binary("x")
+        m.add(x <= 1)
+        m.add(LinExpr({}, 5.0) <= 0, name="nonsense")
+        m.minimize(x)
+        report = lint_model(m)
+        assert "MILP001" in codes_of(report)
+        assert report.by_code("MILP001")[0].constraint == "nonsense"
+
+    def test_milp002_unused_variable(self):
+        m = Model("dead-var")
+        x = m.binary("x")
+        _dead = m.binary("never")
+        m.add(x <= 1)
+        m.minimize(x)
+        report = lint_model(m)
+        assert "MILP002" in codes_of(report)
+
+    def test_milp003_unbounded_objective(self):
+        m = Model("unbounded")
+        x = m.continuous("x", lo=0.0)  # hi defaults to +inf
+        m.maximize(x)  # no constraint touches x
+        report = lint_model(m)
+        assert "MILP003" in codes_of(report)
+
+    def test_milp003_bounded_is_clean(self):
+        m = Model("bounded")
+        x = m.continuous("x", lo=0.0, hi=5.0)
+        m.maximize(x)
+        assert "MILP003" not in codes_of(lint_model(m))
+
+    def test_milp004_non_finite(self):
+        m = Model("nan")
+        x = m.binary("x")
+        m.add(x * float("inf") <= 1, name="broken")
+        m.minimize(x)
+        report = lint_model(m)
+        assert "MILP004" in codes_of(report)
+
+    def test_milp005_duplicate(self):
+        m = Model("dup")
+        x = m.binary("x")
+        m.add(x <= 1, name="one")
+        m.add(x <= 1, name="two")
+        m.minimize(x)
+        report = lint_model(m)
+        assert "MILP005" in codes_of(report)
+        assert "duplicates one" in report.by_code("MILP005")[0].message
+
+    def test_model_lint_method(self):
+        m = Model("method")
+        x = m.binary("x")
+        m.add(x <= 1)
+        m.minimize(x)
+        assert isinstance(m.lint(), DiagnosticReport)
+
+
+# ----------------------------------------------------------------------
+# Linter configuration, report API, JSON schema
+# ----------------------------------------------------------------------
+
+def _graph_with_warning_and_info():
+    b = DFGBuilder("t", width=4)
+    a = b.input("a")
+    _unused = b.input("spare")          # IR013 info
+    k = b.const(3) ^ b.const(5)         # IR012 warning
+    b.output(a & k, "o")
+    return b.graph
+
+
+class TestLinterConfig:
+    def test_select_prefix(self):
+        report = lint_graph(_graph_with_warning_and_info(), select=["IR013"])
+        assert codes_of(report) == {"IR013"}
+
+    def test_ignore(self):
+        report = lint_graph(_graph_with_warning_and_info(), ignore=["IR012"])
+        assert "IR012" not in codes_of(report)
+        assert "IR013" in codes_of(report)
+
+    def test_severity_override(self):
+        report = lint_graph(_graph_with_warning_and_info(),
+                            severity_overrides={"IR012": "error"})
+        assert report.by_code("IR012")[0].severity is Severity.ERROR
+        assert report.fails("error")
+
+    def test_fails_threshold(self):
+        report = lint_graph(_graph_with_warning_and_info())
+        assert not report.fails("error")
+        assert report.fails("warning")
+
+    def test_raise_if(self):
+        report = lint_graph(_graph_with_warning_and_info())
+        with pytest.raises(AnalysisError) as exc:
+            report.raise_if("warning")
+        assert exc.value.report is report
+
+    def test_rule_metadata(self):
+        rule = rule_for("IR006")
+        assert rule.name == "combinational-cycle"
+        assert rule.target == "cdfg"
+        codes = [r.code for r in all_rules()]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+
+    def test_json_schema_stability(self):
+        report = lint_graph(_graph_with_warning_and_info())
+        payload = json.loads(report.to_json())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert set(payload) == {"schema", "subject", "summary", "diagnostics"}
+        assert set(payload["summary"]) == {"error", "warning", "info"}
+        for diag in payload["diagnostics"]:
+            assert {"code", "severity", "rule", "message"} <= set(diag)
+            assert set(diag) <= {"code", "severity", "rule", "message",
+                                 "node", "nodes", "edge", "constraint",
+                                 "hint", "subject"}
+
+    def test_sorted_most_severe_first(self):
+        report = DiagnosticReport("t", [
+            Diagnostic("IR013", Severity.INFO, "info finding"),
+            Diagnostic("IR001", Severity.ERROR, "error finding"),
+            Diagnostic("IR012", Severity.WARNING, "warning finding"),
+        ])
+        assert [d.severity for d in report.sorted()] == \
+            [Severity.ERROR, Severity.WARNING, Severity.INFO]
+
+    def test_render_text_mentions_code_and_summary(self):
+        report = lint_graph(_graph_with_warning_and_info())
+        text = report.render_text()
+        assert "IR012" in text and "warning(s)" in text
+
+
+# ----------------------------------------------------------------------
+# Backward-compatible wrappers (seed behavior preserved)
+# ----------------------------------------------------------------------
+
+class TestWrapperCompatibility:
+    def test_check_problems_clean_on_all_benchmarks(self):
+        for name, spec in BENCHMARKS.items():
+            assert check_problems(spec.build()) == [], name
+
+    def test_schedule_problems_clean_on_mapped_schedules(self):
+        for build in (build_fig1, build_recurrent):
+            sched = MapScheduler(build(), TUTORIAL4,
+                                 SchedulerConfig(ii=1, tcp=5.0)).schedule()
+            assert schedule_problems(sched, TUTORIAL4) == []
+
+    def test_check_problems_matches_rule_messages(self):
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        s = g.add_node(OpKind.SLICE, 3, operands=[a.nid], amount=2)
+        g.add_node(OpKind.OUTPUT, 3, operands=[s.nid], name="o")
+        problems = check_problems(g)
+        report = lint_graph(g, select=["IR005"])
+        assert problems == [d.message for d in report]
+
+    def test_benchmarks_lint_error_free(self):
+        for name, spec in BENCHMARKS.items():
+            report = lint_graph(spec.build())
+            assert not report.errors, (name, report.render_text())
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro lint
+# ----------------------------------------------------------------------
+
+class TestLintCli:
+    def test_lint_single_benchmark_text(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint", "clz"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_json_schema(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint", "CLZ", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["failed"] is False
+        assert payload["reports"][0]["subject"] == "clz"
+
+    def test_lint_file_target(self, tmp_path, capsys):
+        from repro.__main__ import main
+        from repro.ir.serialize import save_graph
+
+        b = DFGBuilder("t", width=4)
+        a = b.input("a")
+        _unused = b.input("spare")
+        b.output(a, "o")
+        path = tmp_path / "design.json"
+        save_graph(b.graph, str(path))
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 0
+        out = capsys.readouterr().out
+        assert "IR013" in out
+
+    def test_lint_fail_on_warning(self, tmp_path):
+        from repro.__main__ import main
+        from repro.ir.serialize import save_graph
+
+        path = tmp_path / "warny.json"
+        save_graph(_graph_with_warning_and_info(), str(path))
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 1
+        assert main(["lint", str(path), "--fail-on", "warning",
+                     "--ignore", "IR012", "--ignore", "IR013"]) == 0
+
+    def test_lint_select(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint", "CLZ", "--select", "IR006",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reports"][0]["diagnostics"] == []
+
+    def test_lint_unknown_target(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint", "no-such-design"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_lint_unloadable_file(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json {")
+        assert main(["lint", str(bad)]) == 2
+        assert "failed to load" in capsys.readouterr().err
+
+    def test_lint_defaults_to_all_benchmarks(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("error(s)") == len(BENCHMARKS)
+
+
+# ----------------------------------------------------------------------
+# Flow integration: run_flow pre-flight lint
+# ----------------------------------------------------------------------
+
+class TestFlowIntegration:
+    def test_run_flow_rejects_error_graphs(self):
+        from repro.experiments import run_flow
+
+        g = CDFG()
+        a = g.add_node(OpKind.INPUT, 4, name="a")
+        x = g.add_node(OpKind.NOT, 4, operands=[Operand(a.nid)])
+        g.add_node(OpKind.OUTPUT, 4, operands=[x.nid], name="o")
+        g.set_operand(x.nid, 0, Operand(77, 1))
+        with pytest.raises(AnalysisError) as exc:
+            run_flow(g, "milp-map", TUTORIAL4,
+                     SchedulerConfig(ii=1, tcp=5.0))
+        assert "IR001" in {d.code for d in exc.value.report}
+
+    def test_verification_error_carries_report(self, mapped_schedule):
+        from repro.core import verify_schedule
+        from repro.errors import ScheduleVerificationError
+
+        nid = next(iter(mapped_schedule.cover))
+        mapped_schedule.start[nid] = mapped_schedule.tcp + 1.0
+        with pytest.raises(ScheduleVerificationError) as exc:
+            verify_schedule(mapped_schedule, TUTORIAL4)
+        assert exc.value.report is not None
+        assert "SCH007" in exc.value.report.codes()
