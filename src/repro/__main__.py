@@ -3,19 +3,27 @@ and lint designs with the static-analysis engine.
 
 Usage::
 
-    python -m repro table1 [DESIGN ...] [--device xc7|--k 4]
+    python -m repro table1 [DESIGN ...] [--device xc7|--k 4] [--no-narrow]
     python -m repro table2 [DESIGN ...]
     python -m repro figure1
     python -m repro figure2
     python -m repro ablations
     python -m repro list
-    python -m repro lint [DESIGN|FILE ...] [--format json] [--fail-on warning]
+    python -m repro lint [DESIGN|FILE ...] [--format json|sarif]
+                         [--fail-on warning] [--baseline FILE]
 
 ``lint`` accepts benchmark names (case-insensitive) and/or paths to
 serialized CDFG JSON files; with no targets it lints all nine benchmarks.
 It exits 1 when any report reaches the ``--fail-on`` threshold (default
-``error``), making it directly usable as a CI gate. See
-``docs/diagnostics.md`` for the code table and the JSON schema.
+``error``), making it directly usable as a CI gate; ``--baseline FILE``
+subtracts previously recorded findings (written with ``--write-baseline``)
+so only *new* diagnostics gate. Select/ignore patterns that match no
+registered rule are a configuration error (exit 2). See
+``docs/diagnostics.md`` for the code table and the JSON/SARIF schemas.
+
+``--no-narrow`` on the experiment commands disables the dataflow-based
+graph narrowing that otherwise runs before scheduling (see
+``docs/dataflow.md``).
 """
 
 from __future__ import annotations
@@ -32,7 +40,8 @@ from .designs.registry import BENCHMARKS
 
 def _config(args) -> SchedulerConfig:
     return SchedulerConfig(ii=args.ii, tcp=args.tcp, alpha=args.alpha,
-                           beta=1.0 - args.alpha, time_limit=args.time_limit)
+                           beta=1.0 - args.alpha, time_limit=args.time_limit,
+                           narrow=not args.no_narrow)
 
 
 def _device(args):
@@ -65,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="Eq. 15 LUT weight; FF weight is 1-alpha")
     sched.add_argument("--time-limit", type=float, default=120.0,
                        help="MILP solver cap in seconds (default 120)")
+    sched.add_argument("--no-narrow", action="store_true",
+                       help="disable dataflow-based graph narrowing before "
+                            "scheduling (see docs/dataflow.md)")
 
     def device_parent(default: str) -> argparse.ArgumentParser:
         p = argparse.ArgumentParser(add_help=False)
@@ -103,7 +115,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("targets", nargs="*", metavar="DESIGN|FILE",
                    help="benchmark names and/or serialized CDFG JSON files "
                         "(default: all nine benchmarks)")
-    p.add_argument("--format", choices=["text", "json"], default="text",
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text",
                    help="output format (default text)")
     p.add_argument("--fail-on", choices=["error", "warning"],
                    default="error",
@@ -114,6 +127,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(repeatable; e.g. IR, SCH003)")
     p.add_argument("--ignore", action="append", default=[], metavar="CODE",
                    help="skip rules matching this code or prefix (repeatable)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="suppress findings recorded in this baseline file; "
+                        "only new diagnostics count toward --fail-on")
+    p.add_argument("--write-baseline", metavar="FILE",
+                   help="record all current findings to FILE and exit 0")
     return parser
 
 
@@ -121,6 +139,13 @@ def _cmd_lint(args) -> int:
     from .analysis import Linter
 
     linter = Linter(select=args.select or None, ignore=args.ignore or None)
+    unmatched = linter.unmatched_patterns()
+    if unmatched:
+        print("repro lint: selector(s) match no registered rule: "
+              + ", ".join(repr(p) for p in unmatched)
+              + " (prefixes match codes, e.g. IR or DF001)",
+              file=sys.stderr)
+        return 2
     device = _device(args)
     targets = args.targets or list(BENCHMARKS)
 
@@ -147,6 +172,25 @@ def _cmd_lint(args) -> int:
             return 2
         reports.append(linter.lint_graph(graph, device=device))
 
+    if args.write_baseline:
+        from .analysis.baseline import write_baseline
+
+        count = write_baseline(args.write_baseline, reports)
+        print(f"repro lint: recorded {count} fingerprint(s) to "
+              f"{args.write_baseline}", file=sys.stderr)
+        return 0
+    if args.baseline:
+        from .analysis.baseline import load_baseline, suppress
+        from .errors import AnalysisError
+
+        try:
+            known = load_baseline(args.baseline)
+        except (AnalysisError, ValueError, OSError) as exc:
+            print(f"repro lint: failed to load baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+        reports = suppress(reports, known)
+
     failed = any(r.fails(args.fail_on) for r in reports)
     if args.format == "json":
         from .analysis import SCHEMA_VERSION
@@ -157,6 +201,10 @@ def _cmd_lint(args) -> int:
             "failed": failed,
             "reports": [r.to_dict() for r in reports],
         }, indent=2))
+    elif args.format == "sarif":
+        from .analysis.sarif import to_sarif
+
+        print(json.dumps(to_sarif(reports), indent=2))
     else:
         for report in reports:
             print(report.render_text())

@@ -1,0 +1,73 @@
+"""Suppression baselines: fail CI only on *new* diagnostics.
+
+A baseline is a JSON file of fingerprints — stable ``subject:code:location``
+strings — for every finding present when it was written. Later runs
+subtract the baseline, so pre-existing debt doesn't block a pipeline while
+every newly introduced finding still does (``python -m repro lint
+--write-baseline FILE`` to record, ``--baseline FILE`` to compare).
+
+Fingerprints deliberately exclude the message text: messages carry values
+("slack 0.43ns") that change benignly; the (subject, code, anchor) triple
+is what identifies "the same finding".
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import AnalysisError
+from .diagnostic import Diagnostic, DiagnosticReport
+
+__all__ = ["BASELINE_SCHEMA", "fingerprint", "write_baseline",
+           "load_baseline", "suppress"]
+
+#: Version tag embedded in every baseline file; bump on breaking changes.
+BASELINE_SCHEMA = "repro-lint-baseline/v1"
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """The stable identity of a finding: ``subject:code:location``."""
+    if diag.node is not None:
+        loc = f"node{diag.node}"
+    elif diag.edge is not None:
+        loc = f"edge{diag.edge[0]}->{diag.edge[1]}"
+    elif diag.constraint is not None:
+        loc = f"constraint:{diag.constraint}"
+    else:
+        loc = "-"
+    return f"{diag.subject or '-'}:{diag.code}:{loc}"
+
+
+def write_baseline(path: str, reports: list[DiagnosticReport]) -> int:
+    """Record every current finding; returns how many were written."""
+    prints = sorted({fingerprint(d) for r in reports for d in r})
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"schema": BASELINE_SCHEMA, "fingerprints": prints},
+                  handle, indent=2)
+        handle.write("\n")
+    return len(prints)
+
+
+def load_baseline(path: str) -> set[str]:
+    """Load a baseline file, validating its schema tag."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise AnalysisError(
+            f"{path}: not a lint baseline (expected schema "
+            f"{BASELINE_SCHEMA!r}, got {data.get('schema')!r})"
+        )
+    prints = data.get("fingerprints", [])
+    if not all(isinstance(p, str) for p in prints):
+        raise AnalysisError(f"{path}: fingerprints must be strings")
+    return set(prints)
+
+
+def suppress(reports: list[DiagnosticReport],
+             baseline: set[str]) -> list[DiagnosticReport]:
+    """New reports with baselined findings removed (inputs untouched)."""
+    return [
+        DiagnosticReport(r.subject,
+                         [d for d in r if fingerprint(d) not in baseline])
+        for r in reports
+    ]

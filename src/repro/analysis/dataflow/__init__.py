@@ -1,0 +1,39 @@
+"""Abstract interpretation over CDFGs: known bits + intervals.
+
+The engine proves per-node facts — which bits are pinned, what range a
+value can take, which MUX arms are reachable — by running transfer
+functions (abstract counterparts of :func:`repro.ir.semantics.eval_node`)
+to a fixpoint over the graph, loop-carried edges included.
+
+Consumers:
+
+* the ``DF001``–``DF005`` lint rules (:mod:`.rules`),
+* :func:`repro.ir.transforms.narrow_graph`, which shrinks widths and
+  folds proven-constant structure before cut enumeration and MILP
+  construction,
+* anything that wants tighter width/value facts than syntax provides.
+
+See ``docs/dataflow.md`` for the lattice, the transfer-function contract
+and the differential soundness harness.
+"""
+
+from .domains import Facts, Interval, KnownBits, reduce_facts
+from .engine import (
+    DEFAULT_WIDEN_AFTER,
+    DataflowResult,
+    analyze,
+    cached_analyze,
+)
+from .transfer import transfer
+
+__all__ = [
+    "DEFAULT_WIDEN_AFTER",
+    "DataflowResult",
+    "Facts",
+    "Interval",
+    "KnownBits",
+    "analyze",
+    "cached_analyze",
+    "reduce_facts",
+    "transfer",
+]

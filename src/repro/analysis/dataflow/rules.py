@@ -1,0 +1,215 @@
+"""DF-series diagnostics: findings proven by abstract interpretation.
+
+These rules report *global* facts the per-op IR rules cannot see: a
+syntactic check knows a MUX arm is dead only when the select is a literal
+constant, while the dataflow engine proves it dead whenever the select's
+bit is pinned by any chain of logic, intervals and recurrences. Every DF
+finding is backed by a fact the differential harness
+(``tests/test_dataflow.py``) validates against the concrete simulator.
+
+All rules share one fixpoint per graph via
+:func:`~repro.analysis.dataflow.engine.cached_analyze` and are gated on
+acyclicity (the engine needs a topological order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...bitdeps.dep import dep_bits
+from ...errors import ValidationError
+from ...ir.graph import CDFG
+from ...ir.types import COMPARISON_KINDS, OpKind
+from ..diagnostic import Diagnostic, Severity
+from ..registry import GATE_ACYCLIC, AnalysisContext, finding, register
+from .engine import DataflowResult, cached_analyze
+
+__all__ = ["dataflow_for"]
+
+
+def dataflow_for(ctx: AnalysisContext) -> DataflowResult | None:
+    """The shared fact store for a lint run, or None when the graph is
+    not analyzable (missing operand sources or a combinational cycle —
+    IR001/IR006 territory, not ours)."""
+    graph = ctx.graph
+    for node in graph:
+        for op in node.operands:
+            if op.source not in graph:
+                return None
+    try:
+        return cached_analyze(graph)
+    except ValidationError:
+        return None
+
+
+def _syntactic_const_set(graph: CDFG) -> set[int]:
+    """Nodes the purely syntactic rules (IR012) already call constant:
+    CONST nodes and operations whose distance-0 operands are all in the
+    set. DF rules report only facts *beyond* this."""
+    is_const: set[int] = set()
+    for nid in graph.topological_order():
+        node = graph.node(nid)
+        if node.kind is OpKind.CONST:
+            is_const.add(nid)
+            continue
+        if node.is_boundary or node.is_blackbox or not node.operands:
+            continue
+        if all(op.distance == 0 and op.source in is_const
+               for op in node.operands):
+            is_const.add(nid)
+    return is_const
+
+
+def _structural_bits(graph: CDFG, node, bits: range) -> int:
+    """How many of ``bits`` structurally depend on some input bit (per
+    the DEP function). Black boxes are opaque: every bit counts."""
+    if node.is_blackbox:
+        return len(bits)
+    count = 0
+    for j in bits:
+        if dep_bits(graph, node, j):
+            count += 1
+    return count
+
+
+@register("DF001", "provably-dead-high-bits", "cdfg", Severity.WARNING,
+          "High bits carry logic but are provably zero on every execution.",
+          gate=GATE_ACYCLIC)
+def provably_dead_high_bits(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    df = dataflow_for(ctx)
+    if df is None:
+        return
+    graph = ctx.graph
+    for node in graph:
+        if node.is_boundary:
+            continue
+        if df.constant_value(node.nid) is not None:
+            continue  # DF004/DF005 report whole-node constness
+        dead = df.dead_high_bits(node.nid)
+        if dead == 0:
+            continue
+        live_width = node.width - dead
+        structural = _structural_bits(
+            graph, node, range(live_width, node.width))
+        if structural == 0:
+            continue  # definitional zeros (zext/shift fill) — not news
+        yield finding(
+            f"node {node.nid} ({node.kind.value}): top {dead} of "
+            f"{node.width} bits are provably zero on every execution",
+            node=node.nid,
+            hint=f"narrow_graph() shrinks this node to {live_width} bits, "
+                 "cutting its Eq. 13/15 LUT/FF bit contribution",
+        )
+
+
+@register("DF002", "guaranteed-truncation", "cdfg", Severity.WARNING,
+          "A narrowing assignment provably discards nonzero bits on every "
+          "execution.", gate=GATE_ACYCLIC)
+def guaranteed_truncation(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    df = dataflow_for(ctx)
+    if df is None:
+        return
+    graph = ctx.graph
+    for node in graph:
+        if node.kind not in (OpKind.TRUNC, OpKind.OUTPUT):
+            continue
+        src = graph.node(node.operands[0].source)
+        if node.width >= src.width:
+            continue
+        incoming = df.operand_fact(node.nid, 0)
+        always_lost = (incoming.range.lo >= (1 << node.width)
+                       or (incoming.bits.ones >> node.width) != 0)
+        if always_lost:
+            yield finding(
+                f"node {node.nid} ({node.kind.value}) keeps {node.width} of "
+                f"{src.width} bits but the discarded bits are provably "
+                "nonzero on every execution",
+                node=node.nid,
+                edge=(src.nid, node.nid),
+                hint="the value never fits the narrowed width; widen the "
+                     "result or rescale the producer",
+            )
+
+
+@register("DF003", "statically-decided-mux", "cdfg", Severity.WARNING,
+          "A MUX select is proven constant by dataflow, so one arm is "
+          "unreachable.", gate=GATE_ACYCLIC)
+def statically_decided_mux(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    df = dataflow_for(ctx)
+    if df is None:
+        return
+    graph = ctx.graph
+    for node in graph:
+        if node.kind is not OpKind.MUX:
+            continue
+        sel_op = node.operands[0]
+        sel = graph.node(sel_op.source)
+        if sel.kind is OpKind.CONST and sel_op.distance == 0:
+            continue  # syntactic constant — IR011 already reports it
+        decided = df.mux_select(node.nid)
+        if decided is None:
+            continue
+        dead_slot = 2 if decided else 1
+        dead_src = node.operands[dead_slot].source
+        yield finding(
+            f"mux {node.nid} select (node {sel.nid}) is provably "
+            f"{decided} on every execution: arm {dead_slot} "
+            f"(node {dead_src}) is unreachable",
+            node=node.nid,
+            edge=(dead_src, node.nid),
+            hint="narrow_graph() folds the mux to the live arm and lets "
+                 "the dead cone be eliminated",
+        )
+
+
+@register("DF004", "dataflow-constant", "cdfg", Severity.WARNING,
+          "An operation is proven constant by dataflow beyond syntactic "
+          "folding.", gate=GATE_ACYCLIC)
+def dataflow_constant(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    df = dataflow_for(ctx)
+    if df is None:
+        return
+    graph = ctx.graph
+    syntactic = _syntactic_const_set(graph)
+    for node in graph:
+        if node.is_boundary or node.kind in (OpKind.LOAD, OpKind.STORE):
+            continue
+        if node.kind in COMPARISON_KINDS:
+            continue  # DF005 reports decided comparisons
+        if node.nid in syntactic:
+            continue  # IR012 already reports syntactically foldable logic
+        value = df.constant_value(node.nid)
+        if value is None:
+            continue
+        yield finding(
+            f"node {node.nid} ({node.kind.value}) provably computes the "
+            f"constant {value} on every execution",
+            node=node.nid,
+            hint="fold_constants cannot see this; narrow_graph() replaces "
+                 "the node with a constant",
+        )
+
+
+@register("DF005", "decided-comparison", "cdfg", Severity.WARNING,
+          "A comparison's outcome is refuted or forced by proven intervals.",
+          gate=GATE_ACYCLIC)
+def decided_comparison(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    df = dataflow_for(ctx)
+    if df is None:
+        return
+    graph = ctx.graph
+    syntactic = _syntactic_const_set(graph)
+    for node in graph:
+        if node.kind not in COMPARISON_KINDS or node.nid in syntactic:
+            continue
+        outcome = df.comparison_outcome(node.nid)
+        if outcome is None:
+            continue
+        yield finding(
+            f"comparison {node.nid} ({node.kind.value}) is always "
+            f"{'true' if outcome else 'false'}: the proven operand ranges "
+            "refute the other outcome",
+            node=node.nid,
+            hint="the guard never varies; drop it or fix the operand "
+                 "ranges feeding it",
+        )

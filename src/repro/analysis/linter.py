@@ -80,6 +80,19 @@ class Linter:
         self.options = dict(options or {})
 
     # ------------------------------------------------------------------
+    def unmatched_patterns(self) -> list[str]:
+        """Selector/ignore patterns that match no registered rule at all.
+
+        ``--select IR1`` silently running nothing (prefixes match codes,
+        not families) is a foot-gun: callers should treat a non-empty
+        result as a configuration error (the CLI exits 2).
+        """
+        from .registry import all_rules
+
+        codes = [rule.code for rule in all_rules()]
+        return [p for p in (self.select or []) + self.ignore
+                if not any(code == p or code.startswith(p) for code in codes)]
+
     def rules_for(self, target: str) -> list[Rule]:
         """The enabled rules for one artifact kind, in code order."""
         rules = rules_for_target(target)

@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 export for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest; ``python -m repro lint --format sarif`` emits one run whose
+driver lists every rule that produced a finding and whose results anchor
+to *logical* locations (CDFG nodes/edges, MILP constraints) — there are
+no source files to point at in a dataflow-graph world.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .diagnostic import Diagnostic, DiagnosticReport, Severity
+from .registry import all_rules
+
+__all__ = ["SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _logical_location(diag: Diagnostic) -> dict[str, Any] | None:
+    subject = diag.subject or ""
+    if diag.node is not None:
+        return {"name": f"node {diag.node}", "kind": "node",
+                "fullyQualifiedName": f"{subject}/node/{diag.node}"}
+    if diag.edge is not None:
+        src, dst = diag.edge
+        return {"name": f"edge {src}->{dst}", "kind": "edge",
+                "fullyQualifiedName": f"{subject}/edge/{src}-{dst}"}
+    if diag.constraint is not None:
+        return {"name": diag.constraint, "kind": "constraint",
+                "fullyQualifiedName": f"{subject}/constraint/{diag.constraint}"}
+    return None
+
+
+def _result(diag: Diagnostic) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "ruleId": diag.code,
+        "level": _LEVEL[diag.severity],
+        "message": {"text": diag.message},
+    }
+    location = _logical_location(diag)
+    if location is not None:
+        out["locations"] = [{"logicalLocations": [location]}]
+    properties: dict[str, Any] = {}
+    if diag.subject:
+        properties["subject"] = diag.subject
+    if diag.hint:
+        properties["hint"] = diag.hint
+    if diag.nodes:
+        properties["nodes"] = list(diag.nodes)
+    if properties:
+        out["properties"] = properties
+    return out
+
+
+def to_sarif(reports: list[DiagnosticReport],
+             tool_name: str = "repro-lint") -> dict[str, Any]:
+    """One SARIF log with a single run covering all ``reports``."""
+    present = {d.code for report in reports for d in report}
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {
+                "level": _LEVEL[rule.severity],
+            },
+        }
+        for rule in all_rules()
+        if rule.code in present
+    ]
+    results = [_result(d) for report in reports for d in report.sorted()]
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "informationUri":
+                    "https://github.com/paper-repro/area-efficient-pipelining",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }

@@ -44,6 +44,11 @@ class SchedulerConfig:
         area; DESIGN.md note on Eq. 15).
     mip_rel_gap:
         Optional relative MIP gap passed to the solver.
+    narrow:
+        Run :func:`repro.ir.transforms.narrow_graph` before cut
+        enumeration and MILP construction (dataflow-proven width
+        shrinking and constant folding). ``--no-narrow`` on the CLI and
+        ``narrow=False`` here are the escape hatch.
     """
 
     ii: int = 1
@@ -58,6 +63,7 @@ class SchedulerConfig:
     use_mapping: bool = True
     paper_objective: bool = False
     mip_rel_gap: float | None = None
+    narrow: bool = True
 
     def __post_init__(self) -> None:
         if self.ii < 1:

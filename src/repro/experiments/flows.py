@@ -46,7 +46,8 @@ class FlowResult:
 
 def run_flow(graph: CDFG, method: str, device: Device = XC7,
              config: SchedulerConfig | None = None,
-             design: str | None = None, lint: bool = True) -> FlowResult:
+             design: str | None = None, lint: bool = True,
+             narrow: bool | None = None) -> FlowResult:
     """Run one Table 1 flow on ``graph`` and evaluate the hardware.
 
     Unless ``lint=False``, the design is first checked by the static
@@ -54,6 +55,15 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
     :class:`~repro.errors.AnalysisError` (the report rides on the
     exception) — a scheduler fed a malformed or DEP-unsound graph would
     otherwise produce QoR numbers that look valid.
+
+    ``narrow`` (default: ``config.narrow``) shrinks the graph with
+    dataflow-proven facts (:func:`repro.ir.transforms.narrow_graph`)
+    before any scheduling, cut enumeration or MILP construction; the
+    narrowed graph is functionally equivalent, so reports and schedules
+    describe the same kernel with fewer bits. Narrowing is strictly an
+    optimization: if the time-capped solver fails on the narrowed model
+    (the perturbed MILP can lose the incumbent lottery), the flow retries
+    once on the original graph rather than surfacing the failure.
     """
     config = config or SchedulerConfig()
     if method not in ("hls-tool", "milp-base", "milp-map", "heur-map"):
@@ -65,6 +75,22 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
         from ..analysis import lint_graph
 
         lint_graph(graph, device=device).raise_if("error")
+    if narrow is None:
+        narrow = config.narrow
+    if narrow:
+        from ..errors import SolverError
+        from ..ir.transforms import narrow_graph
+
+        narrowed, _ = narrow_graph(graph)
+        try:
+            return _dispatch(narrowed, method, device, config, design)
+        except SolverError:
+            pass  # fall through to the un-narrowed graph
+    return _dispatch(graph, method, device, config, design)
+
+
+def _dispatch(graph: CDFG, method: str, device: Device,
+              config: SchedulerConfig, design: str | None) -> FlowResult:
     if method == "hls-tool":
         result = CommercialHLSProxy(graph, device, tcp=config.tcp)\
             .run(target_ii=config.ii)

@@ -91,6 +91,9 @@ class CDFG:
     def _invalidate(self) -> None:
         self._topo_cache = None
         self._uses_valid = False
+        # Structure changed: memoized analysis results (e.g. dataflow
+        # fixpoints) describe the old shape and must be recomputed.
+        self._analysis_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Access

@@ -14,7 +14,7 @@ from __future__ import annotations
 from ..errors import IRError
 from .graph import CDFG
 from .node import Node, Operand
-from .semantics import eval_node
+from .semantics import eval_node, mask
 from .types import COMMUTATIVE_KINDS, OpKind
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "fold_constants",
     "eliminate_common_subexpressions",
     "balance_reduction_trees",
+    "narrow_graph",
     "rebuild",
 ]
 
@@ -155,6 +156,213 @@ def fold_constants(graph: CDFG) -> tuple[CDFG, dict[int, int]]:
     return out, mapping
 
 
+#: Kinds whose *result* width appears inside their own semantics (the
+#: variable-shift clamp is ``min(amount, node.width)``), so shrinking the
+#: node would change its value, not just drop proven-zero bits.
+_WIDTH_SENSITIVE = (OpKind.VSHL, OpKind.VSHR)
+
+
+def narrow_graph(graph: CDFG) -> tuple[CDFG, dict[int, int]]:
+    """Shrink the graph using facts proven by abstract interpretation.
+
+    Three rewrites, all justified by the dataflow fixpoint
+    (:mod:`repro.analysis.dataflow`) rather than syntax:
+
+    * nodes proven constant are replaced by CONST nodes (beyond what
+      :func:`fold_constants` sees — recurrences and value-level identities
+      included);
+    * MUX nodes whose select bit is pinned become a pass-through of the
+      live arm, letting the dead arm's cone be eliminated;
+    * node widths shrink to their live widths (``width`` minus proven-zero
+      high bits), with a raise-only legalization fixpoint that keeps every
+      IR width rule (IR002/IR005/IR010) satisfied.
+
+    The primary interface (INPUT/OUTPUT names and widths) is preserved, as
+    are STORE side effects, so the result is functionally equivalent under
+    :class:`~repro.sim.functional.FunctionalSimulator` — the differential
+    tests in ``tests/test_dataflow.py`` check exactly that. Returns
+    ``(new_graph, old_id -> new_id)``.
+    """
+    # Imported lazily: analysis imports ir, so a module-level import here
+    # would be circular.
+    from ..analysis.dataflow import cached_analyze
+
+    df = cached_analyze(graph)
+    orig_width = {node.nid: node.width for node in graph}
+
+    # ------------------------------------------------------------------
+    # Decide rewrites.
+    # ------------------------------------------------------------------
+    carried_uses: dict[int, bool] = {node.nid: False for node in graph}
+    for node in graph:
+        for op in node.operands:
+            if op.distance > 0:
+                carried_uses[op.source] = True
+
+    def masked_initial(node: Node) -> int:
+        return mask(int(node.attrs.get("initial", 0)), node.width)
+
+    replace_const: dict[int, int] = {}
+    fold_mux: dict[int, int] = {}
+    for node in graph:
+        nid = node.nid
+        if node.is_boundary or node.is_blackbox:
+            continue
+        value = df.constant_value(nid)
+        if value is not None:
+            # A carried read of this node yields its declared initial
+            # value on early iterations; folding is only transparent when
+            # that initial coincides with the proven constant.
+            if not carried_uses[nid] or masked_initial(node) == value:
+                replace_const[nid] = value
+                continue
+        if node.kind is OpKind.MUX:
+            sel = df.mux_select(nid)
+            if sel is not None:
+                fold_mux[nid] = 1 if sel else 2
+
+    # ------------------------------------------------------------------
+    # Width targets + raise-only legalization.
+    # ------------------------------------------------------------------
+    protected: set[int] = set()
+    for node in graph:
+        if node.is_boundary or node.is_blackbox or node.signed:
+            protected.add(node.nid)
+        if node.kind in _WIDTH_SENSITIVE:
+            protected.add(node.nid)
+        if node.kind in (OpKind.SLT, OpKind.SGE):
+            # Signed comparisons reinterpret operands at their declared
+            # widths; shrinking a source flips its sign bit position.
+            protected.update(op.source for op in node.operands)
+        if node.kind is OpKind.CONCAT:
+            # CONCAT's layout is defined by its low operand's width and
+            # checked as the exact sum of both.
+            protected.add(node.nid)
+            protected.update(op.source for op in node.operands)
+
+    target: dict[int, int] = {}
+    for node in graph:
+        nid = node.nid
+        if nid in protected:
+            target[nid] = node.width
+            continue
+        live = max(1, node.width - df.dead_high_bits(nid))
+        if nid in replace_const:
+            live = max(1, replace_const[nid].bit_length())
+        if carried_uses[nid]:
+            # The simulator masks the declared initial value at the
+            # node's width; the narrowed width must still hold it.
+            live = max(live, masked_initial(node).bit_length())
+        target[nid] = min(node.width, live)
+
+    def raise_to(nid: int, width: int) -> bool:
+        capped = min(orig_width[nid], max(target[nid], width))
+        if capped != target[nid]:
+            target[nid] = capped
+            return True
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for node in graph:
+            nid = node.nid
+            if nid in replace_const:
+                continue
+            srcs = [op.source for op in node.operands]
+            if nid in fold_mux:
+                continue  # becomes a TRUNC/ZEXT pass-through: always legal
+            if node.kind is OpKind.TRUNC:
+                changed |= raise_to(srcs[0], target[nid])
+            elif node.kind is OpKind.ZEXT:
+                changed |= raise_to(nid, target[srcs[0]])
+            elif node.kind is OpKind.SLICE:
+                changed |= raise_to(srcs[0], node.amount + target[nid])
+            elif node.kind in (OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT):
+                if target[nid] > max(target[s] for s in srcs):
+                    for s in srcs:
+                        changed |= raise_to(s, target[nid])
+            elif node.kind is OpKind.MUX:
+                if target[nid] > max(target[srcs[1]], target[srcs[2]]):
+                    changed |= raise_to(srcs[1], target[nid])
+                    changed |= raise_to(srcs[2], target[nid])
+            elif node.kind in (OpKind.ADD, OpKind.SUB):
+                if target[nid] > max(target[s] for s in srcs) + 1:
+                    for s in srcs:
+                        changed |= raise_to(s, target[nid] - 1)
+
+    # ------------------------------------------------------------------
+    # Emit the rewritten graph.
+    # ------------------------------------------------------------------
+    out = CDFG(graph.name)
+    mapping: dict[int, int] = {}
+    const_cache: dict[tuple[int, int], int] = {}
+
+    def emit_const(value: int, width: int) -> int:
+        key = (value, width)
+        if key not in const_cache:
+            # ``initial`` makes carried reads of the constant yield the
+            # same value the folded node produced on every iteration.
+            node = out.add_node(OpKind.CONST, width, value=value,
+                                attrs={"initial": value})
+            const_cache[key] = node.nid
+        return const_cache[key]
+
+    def map_operand(op: Operand) -> Operand:
+        if op.distance == 0:
+            return Operand(mapping[op.source], 0)
+        return Operand(-op.source - 1, op.distance)
+
+    for nid in graph.topological_order():
+        old = graph.node(nid)
+        if nid in replace_const:
+            mapping[nid] = emit_const(replace_const[nid], target[nid])
+            continue
+        if nid in fold_mux:
+            arm = old.operands[fold_mux[nid]]
+            kind = (OpKind.ZEXT if target[nid] > target[arm.source]
+                    else OpKind.TRUNC)
+            new = out.add_node(
+                kind, target[nid], operands=[map_operand(arm)],
+                name=old.name, rclass=old.rclass,
+                delay_override=old.delay_override,
+                signed=old.signed, attrs=dict(old.attrs),
+            )
+            mapping[nid] = new.nid
+            continue
+        new = out.add_node(
+            old.kind, target[nid],
+            operands=[map_operand(op) for op in old.operands],
+            name=old.name, value=old.value, amount=old.amount,
+            rclass=old.rclass, delay_override=old.delay_override,
+            signed=old.signed, attrs=dict(old.attrs),
+        )
+        mapping[nid] = new.nid
+
+    for node in out:
+        for idx, op in enumerate(node.operands):
+            if op.source < 0:
+                node.operands[idx] = Operand(mapping[-op.source - 1],
+                                             op.distance)
+    out._invalidate()
+
+    # Dead-cone elimination rooted at the interface *and* at STOREs:
+    # a folded MUX must not take a still-executed memory write with it.
+    live: set[int] = set()
+    stack = [n.nid for n in out.outputs]
+    stack.extend(n.nid for n in out if n.kind is OpKind.STORE)
+    while stack:
+        cur = stack.pop()
+        if cur in live:
+            continue
+        live.add(cur)
+        stack.extend(op.source for op in out.node(cur).operands)
+    live.update(n.nid for n in out.inputs)
+    out, second = rebuild(out, keep=live)
+    mapping = {k: second[v] for k, v in mapping.items() if v in second}
+    return out, mapping
+
+
 def eliminate_common_subexpressions(graph: CDFG) -> tuple[CDFG, dict[int, int]]:
     """Merge structurally identical operations (value numbering).
 
@@ -185,8 +393,11 @@ def eliminate_common_subexpressions(graph: CDFG) -> tuple[CDFG, dict[int, int]]:
             and all(o.source >= 0 for o in operands)
             and not old.attrs.get("recurrence")
         )
+        # A loop-carried read resolves the producer's "initial" attribute
+        # for the first `distance` iterations, so two otherwise-identical
+        # nodes only merge when those observable initial values agree.
         key = (old.kind, old.width, old.value, old.amount, old.signed,
-               tuple(key_ops))
+               old.attrs.get("initial"), tuple(key_ops))
         if mergeable and key in table:
             mapping[nid] = table[key]
             continue

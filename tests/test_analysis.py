@@ -576,7 +576,8 @@ class TestLintCli:
         assert main(["lint", str(path)]) == 0
         assert main(["lint", str(path), "--fail-on", "warning"]) == 1
         assert main(["lint", str(path), "--fail-on", "warning",
-                     "--ignore", "IR012", "--ignore", "IR013"]) == 0
+                     "--ignore", "IR012", "--ignore", "IR013",
+                     "--ignore", "DF"]) == 0
 
     def test_lint_select(self, capsys):
         from repro.__main__ import main

@@ -108,6 +108,28 @@ class TestCSE:
         g2, _ = eliminate_common_subexpressions(b.build())
         assert g2.op_histogram()["load"] == 2
 
+    def test_different_initials_never_merge(self):
+        # Structurally identical NOTs, but one's value is also read at
+        # distance 1 and resolves its "initial" on the first iteration:
+        # merging them would silently replace that initial (seed 47828 of
+        # test_property_passes_preserve_semantics).
+        from repro.ir.graph import CDFG
+        from repro.ir.node import Operand
+        from repro.ir.types import OpKind
+
+        g = CDFG("t")
+        a = g.add_node(OpKind.INPUT, 8, name="a")
+        n1 = g.add_node(OpKind.NOT, 8, operands=[a.nid])
+        n2 = g.add_node(OpKind.NOT, 8, operands=[a.nid],
+                        attrs={"initial": 175})
+        x = g.add_node(OpKind.XOR, 8,
+                       operands=[Operand(n1.nid), Operand(n2.nid, 1)])
+        g.add_node(OpKind.OUTPUT, 8, operands=[x.nid], name="o")
+        g2, _ = eliminate_common_subexpressions(g)
+        assert g2.op_histogram()["not"] == 2
+        stream = [{"a": v} for v in (3, 200, 77)]
+        assert graph_outputs(g, stream) == graph_outputs(g2, stream)
+
 
 class TestBalancing:
     def test_chain_becomes_log_depth(self):
