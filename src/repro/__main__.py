@@ -4,13 +4,23 @@ and lint designs with the static-analysis engine.
 Usage::
 
     python -m repro table1 [DESIGN ...] [--device xc7|--k 4] [--no-narrow]
-    python -m repro table2 [DESIGN ...]
+                           [--jobs N] [--cache-dir DIR]
+    python -m repro table2 [DESIGN ...] [--jobs N] [--cache-dir DIR]
     python -m repro figure1
     python -m repro figure2
-    python -m repro ablations
+    python -m repro ablations [--jobs N] [--cache-dir DIR]
+    python -m repro trace DESIGN [--method milp-map] [--cache-dir DIR]
+                          [--format json]
     python -m repro list
     python -m repro lint [DESIGN|FILE ...] [--format json|sarif]
                          [--fail-on warning] [--baseline FILE]
+
+``--jobs N`` fans (design, method) tasks over a process pool with an
+ordered merge — the output is byte-identical to the serial run.
+``--cache-dir DIR`` enables the content-addressed flow cache: a warm
+rerun of any experiment performs zero MILP solves. ``trace`` runs (or
+replays from the cache) a single flow and dumps its per-phase spans; see
+``docs/runtime.md``.
 
 ``lint`` accepts benchmark names (case-insensitive) and/or paths to
 serialized CDFG JSON files; with no targets it lints all nine benchmarks.
@@ -78,6 +88,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable dataflow-based graph narrowing before "
                             "scheduling (see docs/dataflow.md)")
 
+    runtime = argparse.ArgumentParser(add_help=False)
+    runtime.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="fan tasks over N worker processes "
+                              "(default: $REPRO_JOBS or 1 = serial)")
+    runtime.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="content-addressed flow-result cache; warm "
+                              "reruns perform zero MILP solves")
+
     def device_parent(default: str) -> argparse.ArgumentParser:
         p = argparse.ArgumentParser(add_help=False)
         p.add_argument("--device", choices=["xc7", "tutorial4"],
@@ -87,12 +105,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="override the device's LUT input count K")
         return p
 
-    p = sub.add_parser("table1", parents=[sched, device_parent("xc7")],
+    p = sub.add_parser("table1",
+                       parents=[sched, device_parent("xc7"), runtime],
                        help="QoR comparison across the four flows (Table 1)")
     p.add_argument("designs", nargs="*",
                    help="benchmark subset (default: all nine)")
 
-    p = sub.add_parser("table2", parents=[sched, device_parent("xc7")],
+    p = sub.add_parser("table2",
+                       parents=[sched, device_parent("xc7"), runtime],
                        help="MILP sizes and solve times (Table 2)")
     p.add_argument("designs", nargs="*",
                    help="benchmark subset (default: all nine)")
@@ -105,8 +125,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("figure2", parents=[device_parent("tutorial4")],
                    help="cut enumeration on the Figure 2 kernel")
 
-    sub.add_parser("ablations", parents=[sched, device_parent("xc7")],
+    sub.add_parser("ablations",
+                   parents=[sched, device_parent("xc7"), runtime],
                    help="sensitivity sweeps (depth, alpha/beta, K, heuristic)")
+
+    p = sub.add_parser("trace",
+                       parents=[sched, device_parent("xc7"), runtime],
+                       help="run (or replay from cache) one flow and dump "
+                            "its per-phase trace spans")
+    p.add_argument("design", help="benchmark name (see `repro list`)")
+    p.add_argument("--method",
+                   choices=["hls-tool", "milp-base", "milp-map", "heur-map"],
+                   default="milp-map",
+                   help="flow to trace (default milp-map)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (default text)")
 
     sub.add_parser("list", help="list the registered benchmark designs")
 
@@ -211,6 +244,38 @@ def _cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_trace(args) -> int:
+    """Run (or replay from the cache) one flow and dump its trace."""
+    from .experiments import run_flow
+    from .runtime import TRACE_SCHEMA, FlowCache
+
+    name = args.design.upper()
+    if name not in BENCHMARKS:
+        print(f"repro trace: unknown design {args.design!r}", file=sys.stderr)
+        return 2
+    cache = FlowCache(args.cache_dir) if args.cache_dir else None
+    flow = run_flow(BENCHMARKS[name].build(), args.method,
+                    device=_device(args), config=_config(args),
+                    design=name, cache=cache)
+    if args.format == "json":
+        print(json.dumps({
+            "schema": TRACE_SCHEMA,
+            "design": name,
+            "method": args.method,
+            "cached": flow.cached,
+            "fingerprint": flow.fingerprint,
+            "source_graph": flow.source_graph,
+            "report": flow.report.to_dict(),
+            "spans": [s.to_dict() for s in flow.trace.spans],
+        }, indent=2))
+    else:
+        state = "cache hit" if flow.cached else "computed"
+        print(f"trace {name}:{args.method} ({state}, "
+              f"graph={flow.source_graph})")
+        print(flow.trace.render_text())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -228,7 +293,8 @@ def main(argv: list[str] | None = None) -> int:
 
         result = run_table1(designs=[d.upper() for d in args.designs] or None,
                             device=_device(args), config=_config(args),
-                            progress=_progress("running"))
+                            progress=_progress("running"),
+                            jobs=args.jobs, cache_dir=args.cache_dir)
         print(format_table1(result))
         return 0
 
@@ -237,9 +303,13 @@ def main(argv: list[str] | None = None) -> int:
 
         result = run_table2(designs=[d.upper() for d in args.designs] or None,
                             device=_device(args), config=_config(args),
-                            progress=_progress("solving"))
+                            progress=_progress("solving"),
+                            jobs=args.jobs, cache_dir=args.cache_dir)
         print(format_table2(result))
         return 0
+
+    if args.command == "trace":
+        return _cmd_trace(args)
 
     if args.command == "figure1":
         from .experiments import format_figure1, run_figure1
@@ -267,17 +337,20 @@ def main(argv: list[str] | None = None) -> int:
 
         device = _device(args)
         print(format_xorr_depth(
-            sweep_xorr_depth(device=device, config=_config(args))))
+            sweep_xorr_depth(device=device, config=_config(args),
+                             jobs=args.jobs, cache_dir=args.cache_dir)))
         print()
         print(format_alpha_beta(
-            sweep_alpha_beta(device=device, base_config=_config(args)),
+            sweep_alpha_beta(device=device, base_config=_config(args),
+                             jobs=args.jobs, cache_dir=args.cache_dir),
             "GFMUL"))
         print()
         print(format_k_sweep(
             sweep_k(ks=[args.k] if args.k is not None else None)))
         print()
         print(format_heuristic_gap(
-            sweep_heuristic_gap(device=device, config=_config(args))))
+            sweep_heuristic_gap(device=device, config=_config(args),
+                                jobs=args.jobs, cache_dir=args.cache_dir)))
         return 0
 
     return 1  # pragma: no cover

@@ -72,3 +72,16 @@ class SchedulerConfig:
             raise SchedulingError(f"Tcp must be positive, got {self.tcp}")
         if self.alpha < 0 or self.beta < 0:
             raise SchedulingError("alpha and beta must be non-negative")
+
+    def fingerprint_fields(self) -> dict:
+        """The fields hashed into a flow-cache fingerprint.
+
+        Every field is included: all of them can change the produced
+        schedule (``time_limit`` and ``backend`` change which incumbent is
+        accepted; ``narrow`` changes the scheduled graph). Runtime-only
+        knobs such as the jobs count or the cache directory deliberately
+        live *outside* this config so they never perturb fingerprints.
+        """
+        import dataclasses
+
+        return dict(sorted(dataclasses.asdict(self).items()))

@@ -17,6 +17,7 @@ from ..errors import InfeasibleError, SolverError
 from ..ir.graph import CDFG
 from ..ir.validate import validate
 from ..milp.model import SolveStatus
+from ..runtime.trace import Tracer
 from ..scheduling.modulo import HeuristicModuloScheduler
 from ..scheduling.schedule import Schedule
 from ..tech.device import XC7, Device
@@ -33,11 +34,15 @@ class MapScheduler:
     method_name = "milp-map"
 
     def __init__(self, graph: CDFG, device: Device = XC7,
-                 config: SchedulerConfig | None = None) -> None:
+                 config: SchedulerConfig | None = None,
+                 tracer: Tracer | None = None) -> None:
         validate(graph)
         self.graph = graph
         self.device = device
         self.config = config or SchedulerConfig()
+        #: Phase tracing (cut-enum / milp-build / solve spans). Always
+        #: present; callers that care pass a shared flow-level tracer.
+        self.tracer = tracer or Tracer()
         self.enumerator: CutEnumerator | None = None
         self.formulation: MappingAwareFormulation | None = None
         self.cuts: dict[int, CutSet] = {}
@@ -45,10 +50,13 @@ class MapScheduler:
     # ------------------------------------------------------------------
     def enumerate(self) -> dict[int, CutSet]:
         """Run cut enumeration (full sets for MILP-map)."""
-        self.enumerator = CutEnumerator(
-            self.graph, self.device.k, max_cuts=self.config.max_cuts
-        )
-        self.cuts = self.enumerator.run()
+        with self.tracer.span("cut-enum", method=self.method_name) as span:
+            self.enumerator = CutEnumerator(
+                self.graph, self.device.k, max_cuts=self.config.max_cuts
+            )
+            self.cuts = self.enumerator.run()
+            span.meta["cuts"] = self.enumerator.stats.total_selectable
+            span.meta["candidates"] = self.enumerator.stats.candidates_generated
         return self.cuts
 
     def _horizon(self) -> int:
@@ -79,19 +87,36 @@ class MapScheduler:
         return verify_schedule(schedule, self.device)
 
     def _solve_with_horizon(self, horizon: int) -> Schedule | None:
-        self.formulation = MappingAwareFormulation(
-            self.graph, self.cuts, self.device, self.config, horizon
-        )
-        model = self.formulation.build()
-        solution = model.solve(
-            backend=self.config.backend,
-            time_limit=self.config.time_limit,
-            mip_rel_gap=self.config.mip_rel_gap,
-        ) if self.config.backend == "scipy" else model.solve(
-            backend=self.config.backend, time_limit=self.config.time_limit
-        )
+        with self.tracer.span("milp-build", method=self.method_name,
+                              horizon=horizon) as span:
+            self.formulation = MappingAwareFormulation(
+                self.graph, self.cuts, self.device, self.config, horizon
+            )
+            model = self.formulation.build()
+            span.meta["constraints"] = model.num_constraints
+            span.meta["variables"] = model.num_vars
+            span.meta["integer_variables"] = model.num_integer_vars
+        with self.tracer.span("solve", method=self.method_name,
+                              backend=self.config.backend) as span:
+            solution = model.solve(
+                backend=self.config.backend,
+                time_limit=self.config.time_limit,
+                mip_rel_gap=self.config.mip_rel_gap,
+            ) if self.config.backend == "scipy" else model.solve(
+                backend=self.config.backend, time_limit=self.config.time_limit
+            )
+            span.meta["status"] = solution.status
+            span.meta["solver_seconds"] = solution.solve_seconds
+            span.meta["optimal"] = solution.status == SolveStatus.OPTIMAL
         if solution.status == SolveStatus.INFEASIBLE:
             return None
+        if solution.status == SolveStatus.NO_INCUMBENT:
+            raise SolverError(
+                f"time cap too tight: solver hit the "
+                f"{self.config.time_limit}s limit on {self.graph.name} "
+                f"({model.num_constraints} constraints) before finding any "
+                f"incumbent — raise time_limit or loosen mip_rel_gap"
+            )
         if not solution.ok:
             raise SolverError(
                 f"solver returned {solution.status}: {solution.message}"
@@ -106,6 +131,10 @@ class BaseScheduler(MapScheduler):
 
     def enumerate(self) -> dict[int, CutSet]:
         """Unit cuts only — max_cuts=0 disables cone growth entirely."""
-        self.enumerator = CutEnumerator(self.graph, self.device.k, max_cuts=0)
-        self.cuts = self.enumerator.run()
+        with self.tracer.span("cut-enum", method=self.method_name) as span:
+            self.enumerator = CutEnumerator(self.graph, self.device.k,
+                                            max_cuts=0)
+            self.cuts = self.enumerator.run()
+            span.meta["cuts"] = self.enumerator.stats.total_selectable
+            span.meta["candidates"] = self.enumerator.stats.candidates_generated
         return self.cuts

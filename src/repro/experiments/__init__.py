@@ -17,7 +17,7 @@ from .figure2 import build_figure2_kernel, format_figure2, run_figure2
 from .flows import ALL_METHODS, METHODS, FlowResult, run_flow
 from .reporting import percent, render_table
 from .table1 import Table1Result, Table1Row, format_table1, run_table1
-from .table2 import Table2Row, format_table2, run_table2
+from .table2 import Table2Result, Table2Row, format_table2, run_table2
 
 __all__ = [
     "FlowResult",
@@ -25,6 +25,7 @@ __all__ = [
     "METHODS",
     "Table1Result",
     "Table1Row",
+    "Table2Result",
     "Table2Row",
     "build_figure1_kernel",
     "build_figure2_kernel",

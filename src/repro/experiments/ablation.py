@@ -15,9 +15,9 @@ import time
 from dataclasses import dataclass, field
 
 from ..core.config import SchedulerConfig
-from ..core.mapsched import MapScheduler
 from ..cuts.enumerate import CutEnumerator
-from ..hw.cost import evaluate
+from ..runtime.cache import FlowCache
+from ..runtime.parallel import run_parallel
 from ..tech.device import XC7, Device
 from ..designs.registry import BENCHMARKS
 from ..designs.xorr import build_xorr
@@ -46,27 +46,35 @@ class XorrDepthPoint:
     map_stages: int
 
 
+def _xorr_depth_point(task) -> XorrDepthPoint:
+    n, device, config, cache_dir = task
+    cache = FlowCache(cache_dir) if cache_dir else None
+    graph_tool = build_xorr(elements=n, width=16)
+    tool = run_flow(graph_tool, "hls-tool", device, config, design="xorr",
+                    cache=cache)
+    graph_map = build_xorr(elements=n, width=16)
+    mapped = run_flow(graph_map, "milp-map", device, config, design="xorr",
+                      cache=cache)
+    return XorrDepthPoint(
+        elements=n,
+        depth=(n - 1).bit_length(),
+        tool_ffs=tool.report.ffs,
+        map_ffs=mapped.report.ffs,
+        tool_stages=tool.schedule.latency,
+        map_stages=mapped.schedule.latency,
+    )
+
+
 def sweep_xorr_depth(element_counts: list[int] | None = None,
                      device: Device = XC7,
-                     config: SchedulerConfig | None = None
-                     ) -> list[XorrDepthPoint]:
+                     config: SchedulerConfig | None = None,
+                     jobs: int | None = 1,
+                     cache_dir: str | None = None) -> list[XorrDepthPoint]:
     """FF usage of hls-tool vs MILP-map as the reduction tree deepens."""
     config = config or SchedulerConfig(ii=1, tcp=10.0, time_limit=60)
-    points = []
-    for n in element_counts or [16, 32, 64, 128, 256]:
-        graph_tool = build_xorr(elements=n, width=16)
-        tool = run_flow(graph_tool, "hls-tool", device, config, design="xorr")
-        graph_map = build_xorr(elements=n, width=16)
-        mapped = run_flow(graph_map, "milp-map", device, config, design="xorr")
-        points.append(XorrDepthPoint(
-            elements=n,
-            depth=(n - 1).bit_length(),
-            tool_ffs=tool.report.ffs,
-            map_ffs=mapped.report.ffs,
-            tool_stages=tool.schedule.latency,
-            map_stages=mapped.schedule.latency,
-        ))
-    return points
+    tasks = [(n, device, config, cache_dir)
+             for n in element_counts or [16, 32, 64, 128, 256]]
+    return run_parallel(tasks, _xorr_depth_point, jobs=jobs)
 
 
 def format_xorr_depth(points: list[XorrDepthPoint]) -> str:
@@ -92,27 +100,35 @@ class AlphaBetaPoint:
     latency: int
 
 
+def _alpha_beta_point(task) -> AlphaBetaPoint:
+    design, alpha, device, config, cache_dir = task
+    cache = FlowCache(cache_dir) if cache_dir else None
+    spec = BENCHMARKS[design]
+    flow = run_flow(spec.build(), "milp-map", device, config, design=design,
+                    cache=cache)
+    return AlphaBetaPoint(
+        alpha=alpha, beta=1.0 - alpha,
+        luts=flow.report.luts, ffs=flow.report.ffs,
+        latency=flow.schedule.latency,
+    )
+
+
 def sweep_alpha_beta(design: str = "GFMUL", weights: list[float] | None = None,
                      device: Device = XC7,
-                     base_config: SchedulerConfig | None = None
-                     ) -> list[AlphaBetaPoint]:
+                     base_config: SchedulerConfig | None = None,
+                     jobs: int | None = 1,
+                     cache_dir: str | None = None) -> list[AlphaBetaPoint]:
     """Re-solve one design with different Eq. 15 weightings."""
     base = base_config or SchedulerConfig(ii=1, tcp=10.0, time_limit=60)
-    spec = BENCHMARKS[design]
-    points = []
+    tasks = []
     for alpha in weights or [0.0, 0.25, 0.5, 0.75, 1.0]:
         config = SchedulerConfig(
             ii=base.ii, tcp=base.tcp, alpha=alpha, beta=1.0 - alpha,
             time_limit=base.time_limit, backend=base.backend,
             max_cuts=base.max_cuts,
         )
-        sched = MapScheduler(spec.build(), device, config).schedule()
-        report = evaluate(sched, device, design=design)
-        points.append(AlphaBetaPoint(
-            alpha=alpha, beta=1.0 - alpha,
-            luts=report.luts, ffs=report.ffs, latency=sched.latency,
-        ))
-    return points
+        tasks.append((design, alpha, device, config, cache_dir))
+    return run_parallel(tasks, _alpha_beta_point, jobs=jobs)
 
 
 def format_alpha_beta(points: list[AlphaBetaPoint], design: str) -> str:
@@ -181,31 +197,40 @@ class HeuristicGapPoint:
     heur_seconds: float
 
 
+def _heuristic_gap_point(task) -> HeuristicGapPoint:
+    name, device, config, cache_dir = task
+    cache = FlowCache(cache_dir) if cache_dir else None
+    spec = BENCHMARKS[name]
+    milp = run_flow(spec.build(), "milp-map", device, config, design=name,
+                    cache=cache)
+    t0 = time.perf_counter()
+    heur = run_flow(spec.build(), "heur-map", device, config, design=name,
+                    cache=cache)
+    heur_seconds = time.perf_counter() - t0
+    if heur.cached:
+        # A cache read says nothing about heuristic runtime; report the
+        # original run's schedule-phase time instead.
+        heur_seconds = heur.trace.total_seconds("schedule")
+    return HeuristicGapPoint(
+        design=name,
+        milp_luts=milp.report.luts, milp_ffs=milp.report.ffs,
+        milp_seconds=milp.report.solve_seconds,
+        heur_luts=heur.report.luts, heur_ffs=heur.report.ffs,
+        heur_seconds=heur_seconds,
+    )
+
+
 def sweep_heuristic_gap(designs: list[str] | None = None,
                         device: Device = XC7,
-                        config: SchedulerConfig | None = None
+                        config: SchedulerConfig | None = None,
+                        jobs: int | None = 1,
+                        cache_dir: str | None = None
                         ) -> list["HeuristicGapPoint"]:
     """Quality/runtime gap between MILP-map and the polynomial heuristic."""
-    import time as _time
-
-    from .flows import run_flow
-
     config = config or SchedulerConfig(ii=1, tcp=10.0, time_limit=120)
-    points = []
-    for name in designs or ["GFMUL", "MT", "AES", "GSM"]:
-        spec = BENCHMARKS[name]
-        milp = run_flow(spec.build(), "milp-map", device, config, design=name)
-        t0 = _time.perf_counter()
-        heur = run_flow(spec.build(), "heur-map", device, config, design=name)
-        heur_seconds = _time.perf_counter() - t0
-        points.append(HeuristicGapPoint(
-            design=name,
-            milp_luts=milp.report.luts, milp_ffs=milp.report.ffs,
-            milp_seconds=milp.report.solve_seconds,
-            heur_luts=heur.report.luts, heur_ffs=heur.report.ffs,
-            heur_seconds=heur_seconds,
-        ))
-    return points
+    tasks = [(name, device, config, cache_dir)
+             for name in designs or ["GFMUL", "MT", "AES", "GSM"]]
+    return run_parallel(tasks, _heuristic_gap_point, jobs=jobs)
 
 
 def format_heuristic_gap(points: list["HeuristicGapPoint"]) -> str:

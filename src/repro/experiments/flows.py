@@ -10,11 +10,18 @@ through Vivado synthesis/P&R:
 * **milp-map** — the mapping-aware MILP; its jointly-optimized cover *is*
   the mapping (a downstream mapper honoring the schedule could only match
   it, since the MILP already chose the per-stage optimum it wanted).
+
+Every run is traced (:class:`~repro.runtime.Tracer` spans for lint /
+narrow / cut-enum / milp-build / solve / verify / evaluate) and can be
+served from a content-addressed :class:`~repro.runtime.FlowCache`, in
+which case the stored result — including its original spans, marked
+``cached`` — comes back without touching the scheduler or the solver.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 
 from ..core.config import SchedulerConfig
 from ..core.mapsched import BaseScheduler, MapScheduler
@@ -24,10 +31,15 @@ from ..hls.tool import CommercialHLSProxy
 from ..hw.cost import HardwareReport, evaluate
 from ..ir.graph import CDFG
 from ..mapping.stage_mapper import map_schedule
+from ..runtime.cache import FlowCache
+from ..runtime.fingerprint import flow_fingerprint
+from ..runtime.trace import Tracer
 from ..scheduling.schedule import Schedule
 from ..tech.device import XC7, Device
 
 __all__ = ["ALL_METHODS", "FlowResult", "run_flow", "METHODS"]
+
+logger = logging.getLogger(__name__)
 
 METHODS = ("hls-tool", "milp-base", "milp-map")
 
@@ -38,16 +50,42 @@ ALL_METHODS = METHODS + ("heur-map",)
 
 @dataclass
 class FlowResult:
-    """Schedule + hardware report for one (design, method) pair."""
+    """Schedule + hardware report (+ trace) for one (design, method) pair.
+
+    Attributes
+    ----------
+    schedule / report:
+        The QoR artifacts every harness consumes.
+    trace:
+        Per-phase spans recorded while the result was computed. For a
+        cache hit these are the *original* run's spans, each marked
+        ``cached=True``, plus a fresh ``cache-load`` span.
+    cached:
+        True when this result came from a :class:`FlowCache` without any
+        recomputation.
+    fingerprint:
+        The content fingerprint of (graph, method, device, config) when a
+        cache was consulted; ``None`` for uncached runs.
+    source_graph:
+        ``"narrowed"`` when the returned schedule was produced on the
+        dataflow-narrowed graph, ``"original"`` otherwise (including the
+        retry path after a narrowed-graph failure).
+    """
 
     schedule: Schedule
     report: HardwareReport
+    trace: Tracer = field(default_factory=Tracer)
+    cached: bool = False
+    fingerprint: str | None = None
+    source_graph: str = "original"
 
 
 def run_flow(graph: CDFG, method: str, device: Device = XC7,
              config: SchedulerConfig | None = None,
              design: str | None = None, lint: bool = True,
-             narrow: bool | None = None) -> FlowResult:
+             narrow: bool | None = None,
+             cache: FlowCache | None = None,
+             tracer: Tracer | None = None) -> FlowResult:
     """Run one Table 1 flow on ``graph`` and evaluate the hardware.
 
     Unless ``lint=False``, the design is first checked by the static
@@ -61,57 +99,112 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
     before any scheduling, cut enumeration or MILP construction; the
     narrowed graph is functionally equivalent, so reports and schedules
     describe the same kernel with fewer bits. Narrowing is strictly an
-    optimization: if the time-capped solver fails on the narrowed model
-    (the perturbed MILP can lose the incumbent lottery), the flow retries
-    once on the original graph rather than surfacing the failure.
+    optimization: if the flow fails on the narrowed model — a time-capped
+    solver losing the incumbent lottery (:class:`SolverError`), the
+    independent verifier rejecting the narrowed schedule
+    (:class:`ScheduleVerificationError` or any other
+    :class:`SchedulingError`), or the analyzer flagging the narrowed graph
+    (:class:`AnalysisError`) — the flow retries once on the original graph
+    rather than surfacing the failure. The returned result records which
+    graph produced it (``FlowResult.source_graph``, also logged and traced).
+
+    ``cache`` short-circuits everything: when the fingerprint of
+    (``graph``, ``method``, ``device``, ``config``) has a stored result,
+    it is returned without scheduling or solving anything.
     """
     config = config or SchedulerConfig()
-    if method not in ("hls-tool", "milp-base", "milp-map", "heur-map"):
+    if method not in ALL_METHODS:
         raise ExperimentError(
-            f"unknown method {method!r}; expected one of "
-            f"{METHODS + ('heur-map',)}"
+            f"unknown method {method!r}; expected one of {ALL_METHODS}"
         )
+    tracer = tracer or Tracer()
+    fingerprint = None
+    if cache is not None:
+        fingerprint = flow_fingerprint(graph, method, device, config)
+        with tracer.span("cache-load", fingerprint=fingerprint) as span:
+            hit = cache.load(fingerprint)
+            span.meta["hit"] = hit is not None
+        if hit is not None:
+            tracer.absorb(hit.trace.spans, cached=True)
+            hit.trace = tracer
+            return hit
+
     if lint:
         from ..analysis import lint_graph
 
-        lint_graph(graph, device=device).raise_if("error")
+        with tracer.span("lint"):
+            lint_graph(graph, device=device).raise_if("error")
     if narrow is None:
         narrow = config.narrow
+    result = None
     if narrow:
-        from ..errors import SolverError
+        from ..errors import AnalysisError, SchedulingError, SolverError
         from ..ir.transforms import narrow_graph
 
-        narrowed, _ = narrow_graph(graph)
+        with tracer.span("narrow") as span:
+            narrowed, _ = narrow_graph(graph)
+            span.meta["nodes"] = len(narrowed.node_ids)
         try:
-            return _dispatch(narrowed, method, device, config, design)
-        except SolverError:
-            pass  # fall through to the un-narrowed graph
-    return _dispatch(graph, method, device, config, design)
+            with tracer.context(graph="narrowed"):
+                result = _dispatch(narrowed, method, device, config,
+                                   design, tracer)
+            result.source_graph = "narrowed"
+        except (SolverError, SchedulingError, AnalysisError) as exc:
+            # Narrowing must never turn a schedulable kernel into a
+            # failure: fall through to the un-narrowed graph. This covers
+            # the solver (lost incumbent on the perturbed MILP), the
+            # independent verifier, and the analyzer alike.
+            logger.warning(
+                "flow %s/%s failed on the narrowed graph (%s: %s); "
+                "retrying on the original graph",
+                design or graph.name, method, type(exc).__name__, exc)
+            with tracer.span("narrow-fallback", error=type(exc).__name__,
+                             message=str(exc)[:200]):
+                pass
+    if result is None:
+        with tracer.context(graph="original"):
+            result = _dispatch(graph, method, device, config, design, tracer)
+        result.source_graph = "original"
+    result.trace = tracer
+    result.fingerprint = fingerprint
+    if cache is not None:
+        with tracer.span("cache-store", fingerprint=fingerprint):
+            cache.store(fingerprint, result, design=design or graph.name,
+                        method=method)
+    return result
 
 
 def _dispatch(graph: CDFG, method: str, device: Device,
-              config: SchedulerConfig, design: str | None) -> FlowResult:
+              config: SchedulerConfig, design: str | None,
+              tracer: Tracer) -> FlowResult:
     if method == "hls-tool":
-        result = CommercialHLSProxy(graph, device, tcp=config.tcp)\
-            .run(target_ii=config.ii)
-        schedule = result.schedule
+        with tracer.span("schedule", method=method):
+            result = CommercialHLSProxy(graph, device, tcp=config.tcp)\
+                .run(target_ii=config.ii)
+            schedule = result.schedule
     elif method == "milp-base":
-        schedule = BaseScheduler(graph, device, config).schedule()
+        schedule = BaseScheduler(graph, device, config,
+                                 tracer=tracer).schedule()
         # Downstream mapping respects the frozen register boundaries but
         # still packs logic within each stage (as Vivado would).
-        schedule.cover = {}
-        schedule = map_schedule(schedule, device)
-        schedule.method = "milp-base"
+        with tracer.span("map", method=method):
+            schedule.cover = {}
+            schedule = map_schedule(schedule, device)
+            schedule.method = "milp-base"
     elif method == "milp-map":
-        schedule = MapScheduler(graph, device, config).schedule()
+        schedule = MapScheduler(graph, device, config,
+                                tracer=tracer).schedule()
     elif method == "heur-map":
         from ..core.heuristic import MappingAwareHeuristicScheduler
 
-        schedule = MappingAwareHeuristicScheduler(graph, device, config)\
-            .schedule(target_ii=config.ii)
+        with tracer.span("schedule", method=method):
+            schedule = MappingAwareHeuristicScheduler(graph, device, config)\
+                .schedule(target_ii=config.ii)
     else:  # pragma: no cover - guarded above
         raise ExperimentError(f"unknown method {method!r}")
-    verify_schedule(schedule, device)
-    report = evaluate(schedule, device, design=design or graph.name)
+    with tracer.span("verify"):
+        verify_schedule(schedule, device)
+    with tracer.span("evaluate"):
+        report = evaluate(schedule, device, design=design or graph.name)
     report.method = method
     return FlowResult(schedule=schedule, report=report)

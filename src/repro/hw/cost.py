@@ -48,6 +48,25 @@ class HardwareReport:
         """(method, CP, LUT, FF) — the Table 1 tuple."""
         return (self.method, round(self.cp, 2), self.luts, self.ffs)
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict (flow-cache storage)."""
+        import dataclasses
+
+        data = dataclasses.asdict(self)
+        data["live_bits_by_cycle"] = {
+            str(k): v for k, v in sorted(self.live_bits_by_cycle.items())
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HardwareReport":
+        data = dict(data)
+        data["live_bits_by_cycle"] = {
+            int(k): int(v)
+            for k, v in data.get("live_bits_by_cycle", {}).items()
+        }
+        return cls(**data)
+
 
 def _consumption_cycles(schedule: Schedule) -> dict[int, list[int]]:
     """For each produced value: the cycles at which consumers read it."""

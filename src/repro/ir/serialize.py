@@ -18,9 +18,13 @@ from .types import OpKind
 from .validate import validate
 
 __all__ = ["graph_to_dict", "graph_from_dict", "dumps", "loads",
-           "save_graph", "load_graph"]
+           "save_graph", "load_graph", "cut_to_dict", "cut_from_dict",
+           "cover_to_list", "cover_from_list", "schedule_to_dict",
+           "schedule_from_dict"]
 
 FORMAT_VERSION = 1
+
+SCHEDULE_FORMAT_VERSION = 1
 
 
 def graph_to_dict(graph: CDFG) -> dict[str, Any]:
@@ -93,6 +97,95 @@ def graph_from_dict(data: dict[str, Any], check: bool = True) -> CDFG:
     if check:
         validate(graph)
     return graph
+
+
+# ----------------------------------------------------------------------
+# Cover and schedule round-trip (flow-cache support)
+# ----------------------------------------------------------------------
+def cut_to_dict(cut) -> dict[str, Any]:
+    """Serialize one :class:`~repro.cuts.cut.Cut` (fully explicit)."""
+    return {
+        "root": cut.root,
+        "boundary": sorted(cut.boundary),
+        "masks": list(cut.masks),
+        "kind": cut.kind,
+        "interior": sorted(cut.interior),
+        "entries": [[nid, dist] for nid, dist in cut.entries],
+    }
+
+
+def cut_from_dict(data: dict[str, Any]):
+    """Rebuild a :class:`~repro.cuts.cut.Cut` from :func:`cut_to_dict`."""
+    from ..cuts.cut import Cut
+
+    return Cut(
+        root=int(data["root"]),
+        boundary=frozenset(int(n) for n in data["boundary"]),
+        masks=tuple(int(m) for m in data["masks"]),
+        kind=data.get("kind", "merged"),
+        interior=frozenset(int(n) for n in data.get("interior", [])),
+        entries=tuple((int(nid), int(dist))
+                      for nid, dist in data.get("entries", [])),
+    )
+
+
+def cover_to_list(cover: dict[int, Any]) -> list[dict[str, Any]]:
+    """Serialize a root-to-cut cover in stable (root id) order."""
+    return [cut_to_dict(cover[root]) for root in sorted(cover)]
+
+
+def cover_from_list(entries: list[dict[str, Any]]) -> dict[int, Any]:
+    cover = {}
+    for entry in entries:
+        cut = cut_from_dict(entry)
+        cover[cut.root] = cut
+    return cover
+
+
+def schedule_to_dict(schedule) -> dict[str, Any]:
+    """Serialize a :class:`~repro.scheduling.schedule.Schedule` + cover.
+
+    The embedded graph uses :func:`graph_to_dict`, so a schedule file is
+    self-contained: it round-trips through JSON without access to the
+    original builder.
+    """
+    return {
+        "format": SCHEDULE_FORMAT_VERSION,
+        "graph": graph_to_dict(schedule.graph),
+        "ii": schedule.ii,
+        "tcp": schedule.tcp,
+        "cycle": {str(nid): c for nid, c in sorted(schedule.cycle.items())},
+        "start": {str(nid): s for nid, s in sorted(schedule.start.items())},
+        "cover": cover_to_list(schedule.cover),
+        "method": schedule.method,
+        "objective": schedule.objective,
+        "solve_seconds": schedule.solve_seconds,
+        "optimal": schedule.optimal,
+    }
+
+
+def schedule_from_dict(data: dict[str, Any], check: bool = True):
+    """Rebuild a schedule (and its graph) from :func:`schedule_to_dict`."""
+    from ..scheduling.schedule import Schedule
+
+    if data.get("format") != SCHEDULE_FORMAT_VERSION:
+        raise IRError(
+            f"unsupported schedule format {data.get('format')!r}"
+        )
+    graph = graph_from_dict(data["graph"], check=check)
+    objective = data.get("objective")
+    return Schedule(
+        graph=graph,
+        ii=int(data["ii"]),
+        tcp=float(data["tcp"]),
+        cycle={int(nid): int(c) for nid, c in data.get("cycle", {}).items()},
+        start={int(nid): float(s) for nid, s in data.get("start", {}).items()},
+        cover=cover_from_list(data.get("cover", [])),
+        method=data.get("method", "unknown"),
+        objective=float(objective) if objective is not None else None,
+        solve_seconds=float(data.get("solve_seconds", 0.0)),
+        optimal=bool(data.get("optimal", True)),
+    )
 
 
 def dumps(graph: CDFG, indent: int | None = 2) -> str:

@@ -180,6 +180,11 @@ class SolveStatus:
     FEASIBLE = "feasible"  # time limit hit, incumbent returned
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
+    #: The time cap fired before the solver found *any* incumbent: the
+    #: model may well be feasible — the cap is simply too tight. Distinct
+    #: from ERROR so callers can raise a precise "raise the time limit"
+    #: diagnosis instead of a generic solver failure.
+    NO_INCUMBENT = "no-incumbent"
     ERROR = "error"
 
 

@@ -94,6 +94,11 @@ def solve_scipy(model: Model, time_limit: float | None = None,
         status = SolveStatus.OPTIMAL
     elif result.status == 1 and result.x is not None:
         status = SolveStatus.FEASIBLE
+    elif result.status == 1:
+        # The cap fired before branch-and-bound found any incumbent. The
+        # model is not known to be broken *or* infeasible — only under-
+        # budgeted — so report that precisely instead of ERROR.
+        status = SolveStatus.NO_INCUMBENT
     elif result.status == 2:
         status = SolveStatus.INFEASIBLE
     elif result.status == 3:
@@ -103,6 +108,7 @@ def solve_scipy(model: Model, time_limit: float | None = None,
 
     values: dict[int, float] = {}
     objective = None
+    message = str(getattr(result, "message", ""))
     if result.x is not None:
         # Snap integer variables; HiGHS returns values within tolerance.
         for var in model.variables:
@@ -110,12 +116,26 @@ def solve_scipy(model: Model, time_limit: float | None = None,
             if var.kind != "continuous":
                 v = float(round(v))
             values[var.index] = v
-        objective = model.objective.value(values)
+        # The snap moved the point; confirm it is still feasible before
+        # recomputing the objective on it. A violation here means HiGHS's
+        # integrality tolerance let a genuinely fractional point through —
+        # surfacing it beats silently reporting a wrong objective.
+        violated = model.check(values, tol=1e-4)
+        if violated:
+            preview = ", ".join(violated[:5])
+            more = f" (+{len(violated) - 5} more)" if len(violated) > 5 else ""
+            status = SolveStatus.ERROR
+            message = (f"rounded solution violates {len(violated)} "
+                       f"constraint(s): {preview}{more}")
+            objective = None
+            values = {}
+        else:
+            objective = model.objective.value(values)
     gap = getattr(result, "mip_gap", None)
     return Solution(
         status=status,
         objective=objective,
         values=values,
         gap=float(gap) if gap is not None else None,
-        message=str(getattr(result, "message", "")),
+        message=message,
     )

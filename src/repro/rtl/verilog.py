@@ -77,7 +77,13 @@ class VerilogEmitter:
                 u for u, _ in cut.entries
             ):
                 return self._staged_ref(op.source, frame_root, op.distance)
-            return "(" + self._expr(op.source, frame_root, depth + 1) + ")"
+            if op.source in cut.interior or op.source == frame_root:
+                return "(" + self._expr(op.source, frame_root, depth + 1) + ")"
+            # Neither boundary nor in-cone: the cut's support masks proved
+            # the cone output independent of this operand (e.g. a shift-out
+            # that became constant after narrowing). No wire exists; any
+            # constant preserves the function, so feed zero.
+            return f"{src.width}'d0"
 
         k = node.kind
         if k is OpKind.AND:

@@ -1,0 +1,79 @@
+"""Process-pool fan-out for experiment tasks.
+
+:func:`run_parallel` dispatches picklable tasks to a
+``concurrent.futures.ProcessPoolExecutor`` and merges results back **in
+task order**, so a parallel run is byte-identical to the serial one for
+any deterministic worker. ``jobs=1`` (the default) does not touch
+multiprocessing at all — it is literally a list comprehension over the
+same worker, which keeps the serial path exactly as it was before this
+module existed.
+
+Workers must be module-level functions (the pool pickles them), and every
+worker seeds Python's global RNG from :func:`task_seed` before doing any
+work, so a task's result cannot depend on which process — or in which
+order — it ran.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["run_parallel", "resolve_jobs", "task_seed"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when an experiment is called with
+#: ``jobs=None`` — lets CI run the whole suite under ``--jobs 2`` without
+#: threading a flag through every harness.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Resolve an explicit/env/default jobs count (always >= 1)."""
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get(JOBS_ENV, "1"))
+        except ValueError:
+            jobs = 1
+    return max(1, jobs)
+
+
+def task_seed(*parts: object) -> int:
+    """Deterministic 32-bit seed for one task (stable across processes)."""
+    blob = "\x1f".join(str(p) for p in parts).encode("utf-8")
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def run_parallel(tasks: Sequence[T], worker: Callable[[T], R],
+                 jobs: int | None = 1,
+                 progress: Callable[[T], None] | None = None) -> list[R]:
+    """Map ``worker`` over ``tasks``; results keep task order.
+
+    With ``jobs <= 1`` the work runs serially in-process. With more, tasks
+    fan out over a process pool sized ``min(jobs, len(tasks))``; a worker
+    exception cancels the remaining futures and re-raises in the caller,
+    matching the serial failure behavior.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        results = []
+        for task in tasks:
+            if progress:
+                progress(task)
+            results.append(worker(task))
+        return results
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = []
+        for task in tasks:
+            if progress:
+                progress(task)
+            futures.append(pool.submit(worker, task))
+        # Collect in submission order: the first failing task (by task
+        # order, not completion order) decides which exception surfaces.
+        return [f.result() for f in futures]

@@ -86,6 +86,13 @@ class PipelineSimulator:
                 # per cut entry by the static verifier; replay checks the
                 # root-to-root wires below and data values throughout.
                 return value
+            if (source, distance) not in ccut.entries:
+                # The selected cut provably does not depend on this operand
+                # at this distance — e.g. a cone whose output became
+                # constant after dataflow narrowing has an empty boundary.
+                # No physical wire exists, so there is no timing to check;
+                # the value still feeds the semantic evaluation.
+                return value
         my_start = self._abs_start(consumer, iteration)
         # Registered values are ready at the cycle boundary; combinational
         # values must finish before the consumer starts.

@@ -1,0 +1,431 @@
+"""Tests for repro.runtime (fingerprint / cache / parallel / trace) and
+the bugfix sweep riding on the same PR: parallel-vs-serial parity,
+warm-cache zero-solve proofs, solver status plumbing, flow fallback
+breadth, and partial-table formatting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import SchedulerConfig
+from repro.core.mapsched import MapScheduler
+from repro.designs import BENCHMARKS, random_dfg
+from repro.errors import (
+    AnalysisError,
+    ScheduleVerificationError,
+    SolverError,
+)
+from repro.experiments import (
+    Table1Result,
+    Table1Row,
+    format_table1,
+    format_table2,
+    run_flow,
+    run_table1,
+    run_table2,
+)
+from repro.experiments import flows as flows_mod
+from repro.hw.cost import HardwareReport
+from repro.ir.serialize import schedule_from_dict, schedule_to_dict
+from repro.milp import scipy_backend
+from repro.milp.model import Model, SolveStatus
+from repro.rtl import emit_verilog, lint_verilog
+from repro.runtime import (
+    CACHE_FILE_SCHEMA,
+    FlowCache,
+    Tracer,
+    flow_fingerprint,
+    resolve_jobs,
+    run_parallel,
+    task_seed,
+)
+from repro.runtime import fingerprint as fingerprint_mod
+from repro.sim import replay_equivalent
+from repro.tech.device import TUTORIAL4, XC7
+
+from .conftest import build_fig1
+
+FAST = SchedulerConfig(ii=1, tcp=10.0, time_limit=30.0, max_cuts=8)
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+def test_tracer_span_records_and_survives_failure():
+    tracer = Tracer()
+    with tracer.span("lint", k=6):
+        pass
+    with pytest.raises(ValueError):
+        with tracer.span("solve", backend="scipy"):
+            raise ValueError("boom")
+    assert [s.name for s in tracer.spans] == ["lint", "solve"]
+    assert tracer.spans[0].meta == {"k": 6}
+    assert tracer.spans[1].seconds >= 0.0  # failed attempts stay visible
+
+
+def test_tracer_context_meta_inherited():
+    tracer = Tracer()
+    with tracer.context(graph="narrowed"):
+        with tracer.span("solve"):
+            pass
+    with tracer.span("verify"):
+        pass
+    assert tracer.spans[0].meta["graph"] == "narrowed"
+    assert "graph" not in tracer.spans[1].meta
+
+
+def test_tracer_absorb_and_fresh_only_counts():
+    original = Tracer()
+    with original.span("solve"):
+        pass
+    live = Tracer()
+    with live.span("cache-load"):
+        pass
+    live.absorb(original.spans, cached=True)
+    assert live.count("solve") == 1
+    assert live.count("solve", fresh_only=True) == 0
+    assert live.count("cache-load", fresh_only=True) == 1
+
+
+def test_tracer_dict_roundtrip_marks_cached():
+    tracer = Tracer()
+    with tracer.span("milp-build", constraints=17):
+        pass
+    rebuilt = Tracer.from_dict(tracer.to_dict(), cached=True)
+    assert rebuilt.count("milp-build") == 1
+    assert rebuilt.spans[0].cached
+    assert rebuilt.spans[0].meta["constraints"] == 17
+    assert "milp-build" in tracer.render_text()
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_stable_across_rebuilds():
+    fp1 = flow_fingerprint(build_fig1(), "milp-map", XC7, FAST)
+    fp2 = flow_fingerprint(build_fig1(), "milp-map", XC7, FAST)
+    assert fp1 == fp2
+    assert len(fp1) == 64
+
+
+def test_fingerprint_invalidates_on_every_input():
+    base = flow_fingerprint(build_fig1(), "milp-map", XC7, FAST)
+    assert flow_fingerprint(build_fig1(3), "milp-map", XC7, FAST) != base
+    assert flow_fingerprint(build_fig1(), "milp-base", XC7, FAST) != base
+    assert flow_fingerprint(build_fig1(), "milp-map", TUTORIAL4, FAST) != base
+    tweaked = SchedulerConfig(ii=1, tcp=10.0, time_limit=30.0, max_cuts=8,
+                              alpha=0.9, beta=0.1)
+    assert flow_fingerprint(build_fig1(), "milp-map", XC7, tweaked) != base
+
+
+def test_fingerprint_invalidates_on_schema_bump(monkeypatch):
+    base = flow_fingerprint(build_fig1(), "milp-map", XC7, FAST)
+    monkeypatch.setattr(fingerprint_mod, "CACHE_SCHEMA_VERSION", 999)
+    assert flow_fingerprint(build_fig1(), "milp-map", XC7, FAST) != base
+
+
+# ----------------------------------------------------------------------
+# Schedule serialization + FlowCache
+# ----------------------------------------------------------------------
+def test_schedule_json_roundtrip():
+    flow = run_flow(build_fig1(), "milp-map", XC7, FAST, lint=False)
+    sched = flow.schedule
+    data = json.loads(json.dumps(schedule_to_dict(sched)))
+    back = schedule_from_dict(data)
+    assert back.cycle == sched.cycle
+    assert back.start == sched.start
+    assert back.ii == sched.ii and back.tcp == sched.tcp
+    assert back.method == sched.method
+    assert back.optimal == sched.optimal
+    assert set(back.cover) == set(sched.cover)
+    for root, cut in sched.cover.items():
+        assert back.cover[root].boundary == cut.boundary
+        assert back.cover[root].entries == cut.entries
+
+
+def test_flow_cache_roundtrip_and_zero_fresh_solves(tmp_path):
+    cache = FlowCache(str(tmp_path))
+    cold = run_flow(build_fig1(), "milp-map", XC7, FAST, lint=False,
+                    cache=cache)
+    assert not cold.cached
+    assert cache.stores == 1 and len(cache) == 1
+    warm = run_flow(build_fig1(), "milp-map", XC7, FAST, lint=False,
+                    cache=cache)
+    assert warm.cached
+    assert cache.hits == 1
+    assert warm.fingerprint == cold.fingerprint
+    # The warm trace replays the original spans (marked cached) plus a
+    # fresh cache-load; no solver work happened.
+    assert warm.trace.count("solve") >= 1
+    assert warm.trace.count("solve", fresh_only=True) == 0
+    assert warm.trace.count("cache-load", fresh_only=True) == 1
+    assert warm.report.to_dict() == cold.report.to_dict()
+    assert warm.schedule.cycle == cold.schedule.cycle
+
+
+def test_flow_cache_corrupt_and_stale_entries_miss(tmp_path):
+    cache = FlowCache(str(tmp_path))
+    fp = flow_fingerprint(build_fig1(), "milp-map", XC7, FAST)
+    path = cache.path_for(fp)
+    import os
+
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{ not json")
+    assert cache.load(fp) is None
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"schema": "repro-flow-cache/v0", "fingerprint": fp,
+                   "result": {}}, handle)
+    assert cache.load(fp) is None
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"schema": CACHE_FILE_SCHEMA, "fingerprint": fp,
+                   "result": {"schedule": {}}}, handle)
+    assert cache.load(fp) is None
+    assert cache.misses == 3 and cache.hits == 0
+
+
+def test_flow_cache_invalidation_on_config_change(tmp_path):
+    cache = FlowCache(str(tmp_path))
+    run_flow(build_fig1(), "milp-map", XC7, FAST, lint=False, cache=cache)
+    tweaked = SchedulerConfig(ii=1, tcp=10.0, time_limit=30.0, max_cuts=8,
+                              alpha=0.9, beta=0.1)
+    again = run_flow(build_fig1(), "milp-map", XC7, tweaked, lint=False,
+                     cache=cache)
+    assert not again.cached  # different fingerprint, fresh solve
+    assert cache.stores == 2 and len(cache) == 2
+
+
+# ----------------------------------------------------------------------
+# run_parallel / task_seed
+# ----------------------------------------------------------------------
+def _square(n: int) -> int:
+    return n * n
+
+
+def _fail_on_three(n: int) -> int:
+    if n == 3:
+        raise ValueError("task three is broken")
+    return n
+
+
+def test_run_parallel_preserves_task_order():
+    tasks = list(range(10))
+    assert run_parallel(tasks, _square, jobs=1) == [n * n for n in tasks]
+    assert run_parallel(tasks, _square, jobs=4) == [n * n for n in tasks]
+
+
+def test_run_parallel_propagates_worker_exception():
+    with pytest.raises(ValueError, match="task three"):
+        run_parallel([1, 2, 3, 4], _fail_on_three, jobs=1)
+    with pytest.raises(ValueError, match="task three"):
+        run_parallel([1, 2, 3, 4], _fail_on_three, jobs=2)
+
+
+def test_resolve_jobs_env_default(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs(0) == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs(None) == 3
+    assert resolve_jobs(1) == 1  # explicit beats env
+    monkeypatch.setenv("REPRO_JOBS", "junk")
+    assert resolve_jobs(None) == 1
+
+
+def test_task_seed_deterministic_and_distinct():
+    assert task_seed("GFMUL", "milp-map") == task_seed("GFMUL", "milp-map")
+    assert task_seed("GFMUL", "milp-map") != task_seed("GFMUL", "milp-base")
+    assert 0 <= task_seed("x") < 2 ** 32
+
+
+# ----------------------------------------------------------------------
+# Table 1 / Table 2 parity + warm cache (the acceptance criteria)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def table1_runs(tmp_path_factory):
+    """One cold serial, one cold jobs=2, one warm rerun of Table 1 (GFMUL)."""
+    dir_serial = str(tmp_path_factory.mktemp("cache-serial"))
+    dir_parallel = str(tmp_path_factory.mktemp("cache-parallel"))
+    kwargs = dict(designs=["GFMUL"], config=FAST, check_replay=False)
+    serial = run_table1(jobs=1, cache_dir=dir_serial, **kwargs)
+    parallel = run_table1(jobs=2, cache_dir=dir_parallel, **kwargs)
+    warm = run_table1(jobs=1, cache_dir=dir_serial, **kwargs)
+    return {"serial": serial, "parallel": parallel, "warm": warm,
+            "dir_serial": dir_serial}
+
+
+def test_table1_parallel_byte_identical(table1_runs):
+    assert format_table1(table1_runs["parallel"]) == \
+        format_table1(table1_runs["serial"])
+
+
+def test_table1_warm_cache_hits_everything_zero_solves(table1_runs):
+    warm = table1_runs["warm"]
+    assert all(row.cached for row in warm.rows)
+    for row in warm.rows:
+        assert row.trace.count("solve", fresh_only=True) == 0
+        assert row.trace.count("milp-build", fresh_only=True) == 0
+        assert row.trace.count("cache-load", fresh_only=True) == 1
+    # MILP rows must still carry the original (cached) solve spans.
+    by_method = {row.method: row for row in warm.rows}
+    assert by_method["milp-map"].trace.count("solve") >= 1
+    assert format_table1(warm) == format_table1(table1_runs["serial"])
+
+
+def test_table2_shares_cache_and_is_reproducible(table1_runs):
+    kwargs = dict(designs=["GFMUL"], config=FAST,
+                  cache_dir=table1_runs["dir_serial"])
+    first = run_table2(jobs=1, **kwargs)
+    second = run_table2(jobs=2, **kwargs)
+    # Both MILP flows were already computed by the Table 1 run above, so
+    # Table 2 rides the same cache: identical (stored) solve seconds make
+    # the rendered tables byte-identical, parallel or not.
+    row = first.rows[0]
+    assert row.base_trace.count("solve", fresh_only=True) == 0
+    assert row.map_trace.count("solve", fresh_only=True) == 0
+    assert row.base_seconds > 0.0
+    assert format_table2(first) == format_table2(second)
+
+
+# ----------------------------------------------------------------------
+# format_table1 partial-result regression (satellite c)
+# ----------------------------------------------------------------------
+def _report(method: str) -> HardwareReport:
+    return HardwareReport(design="GFMUL", method=method, cp=7.5, luts=100,
+                          ffs=10, latency=2, ii=1)
+
+
+def test_format_table1_without_hls_row_blank_percentages():
+    rows = [
+        Table1Row(design="GFMUL", domain="Kernel", description="",
+                  method=method, report=_report(method))
+        for method in ("milp-base", "milp-map")
+    ]
+    result = Table1Result(config=FAST, device=XC7, rows=rows)
+    text = format_table1(result)  # must not raise AttributeError
+    assert "MILP-base" in text and "MILP-map" in text
+    assert "%)" not in text  # percentage cells are blank, not computed
+    assert "GFMUL" in text
+
+
+# ----------------------------------------------------------------------
+# Solver status plumbing (satellite b)
+# ----------------------------------------------------------------------
+class _StubResult:
+    def __init__(self, status, x, message="stub"):
+        self.status = status
+        self.x = x
+        self.message = message
+        self.mip_gap = None
+
+
+def test_scipy_status1_without_incumbent_is_no_incumbent(monkeypatch):
+    model = Model("stub")
+    x = model.integer("x", lo=0, hi=10)
+    model.add(x >= 1)
+    model.minimize(x)
+    monkeypatch.setattr(scipy_backend.optimize, "milp",
+                        lambda **kw: _StubResult(1, None, "time limit hit"))
+    solution = scipy_backend.solve_scipy(model)
+    assert solution.status == SolveStatus.NO_INCUMBENT
+    assert not solution.ok
+    assert solution.objective is None
+
+
+def test_scipy_round_snap_violation_becomes_error(monkeypatch):
+    model = Model("snap")
+    x = model.integer("x", lo=0, hi=1)
+    model.add(x >= 0.4)
+    model.add(x <= 0.6)
+    model.minimize(x)
+    import numpy as np
+
+    monkeypatch.setattr(scipy_backend.optimize, "milp",
+                        lambda **kw: _StubResult(0, np.array([0.4])))
+    solution = scipy_backend.solve_scipy(model)
+    assert solution.status == SolveStatus.ERROR
+    assert "rounded solution violates" in solution.message
+    assert solution.values == {} and solution.objective is None
+
+
+def test_mapscheduler_no_incumbent_raises_time_cap_message(monkeypatch):
+    from repro.milp.model import Solution
+
+    monkeypatch.setattr(
+        Model, "solve",
+        lambda self, **kw: Solution(status=SolveStatus.NO_INCUMBENT,
+                                    objective=None))
+    scheduler = MapScheduler(build_fig1(), XC7, FAST)
+    with pytest.raises(SolverError, match="time cap too tight"):
+        scheduler.schedule()
+
+
+# ----------------------------------------------------------------------
+# Narrowed-graph fallback breadth (satellite a)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("exc", [
+    ScheduleVerificationError(["stage 0 too deep"]),
+    AnalysisError("narrowed graph flagged"),
+    SolverError("lost the incumbent lottery"),
+])
+def test_flow_falls_back_to_original_graph(monkeypatch, exc):
+    real_dispatch = flows_mod._dispatch
+    calls = []
+
+    def flaky_dispatch(graph, method, device, config, design, tracer):
+        calls.append(graph.name)
+        if len(calls) == 1:
+            raise exc
+        return real_dispatch(graph, method, device, config, design, tracer)
+
+    monkeypatch.setattr(flows_mod, "_dispatch", flaky_dispatch)
+    flow = run_flow(build_fig1(), "milp-map", XC7, FAST, lint=False,
+                    narrow=True)
+    assert len(calls) == 2  # narrowed attempt, then the original graph
+    assert flow.source_graph == "original"
+    fallback = flow.trace.last("narrow-fallback")
+    assert fallback is not None
+    assert fallback.meta["error"] == type(exc).__name__
+
+
+def test_flow_records_narrowed_source_graph():
+    flow = run_flow(build_fig1(), "milp-map", XC7, FAST, lint=False,
+                    narrow=True)
+    assert flow.source_graph == "narrowed"
+    assert all(s.meta.get("graph") == "narrowed"
+               for s in flow.trace.find("solve"))
+
+
+# ----------------------------------------------------------------------
+# Regression: narrowing can make a cone constant (seed 2563)
+# ----------------------------------------------------------------------
+def test_constant_cone_after_narrowing_replays_and_emits():
+    """Seed 2563: narrowing shrinks a SHR operand below the shift amount,
+    so the cone's output is a constant and its selected cut has an empty
+    boundary. Replay must not demand wire timing for operands the cut
+    proved independent of, and the RTL emitter must substitute a constant
+    instead of recursing out of the cone."""
+    import random as _random
+
+    rng = _random.Random(2563)
+    stream = [{f"i{k}": rng.randrange(1 << 8) for k in range(3)}
+              for _ in range(12)]
+    graph = random_dfg(2563, ops=10, width=8, inputs=3, recurrences=1)
+    flow = run_flow(graph, "milp-map", XC7,
+                    SchedulerConfig(ii=1, tcp=10.0, time_limit=20,
+                                    max_cuts=6),
+                    narrow=True)
+    assert replay_equivalent(flow.schedule, XC7, stream)
+    if flow.schedule.ii == 1:
+        assert lint_verilog(emit_verilog(flow.schedule)) == []
+
+
+# ----------------------------------------------------------------------
+# CLI wiring sanity: benchmark registry stays addressable by task workers
+# ----------------------------------------------------------------------
+def test_benchmark_names_roundtrip_through_tasks():
+    for name in BENCHMARKS:
+        assert name == name.upper()
