@@ -14,6 +14,8 @@ Usage::
     python -m repro list
     python -m repro lint [DESIGN|FILE ...] [--format json|sarif]
                          [--fail-on warning] [--baseline FILE]
+    python -m repro fuzz [--seeds N] [--time-budget S] [--oracles a,b]
+                         [--jobs N] [--corpus-dir DIR] [--format json]
 
 ``--jobs N`` fans (design, method) tasks over a process pool with an
 ordered merge — the output is byte-identical to the serial run.
@@ -34,6 +36,12 @@ registered rule are a configuration error (exit 2). See
 ``--no-narrow`` on the experiment commands disables the dataflow-based
 graph narrowing that otherwise runs before scheduling (see
 ``docs/dataflow.md``).
+
+``fuzz`` runs the differential fuzzing campaign (see ``docs/fuzzing.md``):
+coverage-directed random CDFGs cross-checked by pluggable oracles, with
+divergences shrunk to minimal repros. It exits 1 when any oracle
+diverges; ``--corpus-dir`` additionally writes the shrunk repros as
+corpus entries the test suite replays.
 """
 
 from __future__ import annotations
@@ -165,6 +173,34 @@ def _build_parser() -> argparse.ArgumentParser:
                         "only new diagnostics count toward --fail-on")
     p.add_argument("--write-baseline", metavar="FILE",
                    help="record all current findings to FILE and exit 0")
+
+    p = sub.add_parser("fuzz",
+                       parents=[sched, device_parent("xc7"), runtime],
+                       help="differential fuzzing campaign over random "
+                            "CDFGs (see docs/fuzzing.md)")
+    p.add_argument("--seeds", type=int, default=50, metavar="N",
+                   help="number of fuzz seeds to run (default 50)")
+    p.add_argument("--seed-start", type=int, default=0, metavar="K",
+                   help="first seed value (default 0)")
+    p.add_argument("--time-budget", type=float, default=None, metavar="S",
+                   help="stop dispatching new seeds after S seconds")
+    p.add_argument("--oracles", default=None, metavar="a,b",
+                   help="comma-separated oracle subset (default: all; see "
+                        "docs/fuzzing.md for the catalog)")
+    p.add_argument("--profiles", default=None, metavar="p,q",
+                   help="comma-separated generator profile subset "
+                        "(default: all, routed by seed)")
+    p.add_argument("--mutate-rounds", type=int, default=1, metavar="R",
+                   help="mutation rounds applied to odd seeds (default 1; "
+                        "0 disables mutation)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report divergences without minimizing them")
+    p.add_argument("--corpus-dir", default=None, metavar="DIR",
+                   help="write shrunk divergences as corpus entries here")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="summary format on stdout (default text)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="also write the full JSON summary to FILE")
     return parser
 
 
@@ -276,6 +312,66 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import ORACLES, PROFILES, run_campaign
+
+    oracles = tuple(args.oracles.split(",")) if args.oracles else None
+    if oracles:
+        unknown = [o for o in oracles if o not in ORACLES]
+        if unknown:
+            print("repro fuzz: unknown oracle(s): " + ", ".join(unknown)
+                  + " (known: " + ", ".join(ORACLES) + ")", file=sys.stderr)
+            return 2
+    profiles = tuple(args.profiles.split(",")) if args.profiles else None
+    if profiles:
+        unknown = [p for p in profiles if p not in PROFILES]
+        if unknown:
+            print("repro fuzz: unknown profile(s): " + ", ".join(unknown)
+                  + " (known: " + ", ".join(PROFILES) + ")", file=sys.stderr)
+            return 2
+
+    config = dataclasses.replace(_config(args), max_cuts=8)
+    kwargs = {}
+    if oracles:
+        kwargs["oracles"] = oracles
+    summary = run_campaign(
+        seeds=args.seeds, seed_start=args.seed_start,
+        profiles=profiles, time_budget=args.time_budget,
+        jobs=args.jobs, device=_device(args), config=config,
+        mutate_rounds=args.mutate_rounds,
+        shrink_divergences=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        progress=lambda t: print(f"  fuzzing seed {t.seed}...",
+                                 file=sys.stderr),
+        **kwargs)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(summary.to_dict(), fh, indent=2)
+            fh.write("\n")
+    if args.format == "json":
+        print(json.dumps(summary.to_dict(), indent=2))
+    else:
+        counts = summary.counts()
+        state = " (stopped early: time budget)" if summary.stopped_early \
+            else ""
+        print(f"fuzz: {len(summary.results)}/{summary.seeds_requested} "
+              f"seeds{state}, oracles: {counts['pass']} pass, "
+              f"{counts['skip']} skip, {counts['diverge']} diverge")
+        for result in summary.results:
+            for div in result["divergences"]:
+                shrunk = div.get("shrunk")
+                where = (f" [shrunk to {shrunk['nodes']} nodes, "
+                         f"{shrunk['stimulus_len']} iterations]"
+                         if shrunk else "")
+                print(f"  DIVERGE seed {result['seed']} "
+                      f"({result['profile']}) {div['oracle']}: "
+                      f"{div['message']}{where}")
+        for path in summary.corpus_files:
+            print(f"  corpus entry written: {path}")
+    return 1 if summary.divergences else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -287,6 +383,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "lint":
         return _cmd_lint(args)
+
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
 
     if args.command == "table1":
         from .experiments import format_table1, run_table1

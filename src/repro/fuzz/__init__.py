@@ -1,0 +1,41 @@
+"""Differential fuzzing harness (see ``docs/fuzzing.md``).
+
+Four layers, composed by the ``repro fuzz`` CLI:
+
+* :mod:`~repro.fuzz.generate` / :mod:`~repro.fuzz.mutate` — coverage-
+  directed graph generation plus structure mutators, all validate-clean;
+* :mod:`~repro.fuzz.oracles` — pluggable differential checks (functional
+  sim vs. pipeline replay vs. bit-blast, narrowing equivalence, schedule
+  re-verification + cost sanity, solver-backend agreement, RTL lint,
+  cache round-trip);
+* :mod:`~repro.fuzz.shrink` — delta-debugging minimizer re-running only
+  the failing oracle;
+* :mod:`~repro.fuzz.corpus` / :mod:`~repro.fuzz.runner` — crash-corpus
+  persistence and the parallel campaign driver (``repro-fuzz/v1``).
+"""
+
+from .corpus import CORPUS_SCHEMA, load_corpus, make_entry, replay_entry, save_entry
+from .generate import (
+    PROFILES,
+    FuzzCaseData,
+    FuzzProfile,
+    generate_case,
+    generate_graph,
+    make_stimulus,
+    profile_for_seed,
+)
+from .mutate import MUTATORS, mutate
+from .oracles import DEFAULT_ORACLES, ORACLES, Divergence, FuzzCase, OracleResult, run_oracle
+from .runner import FUZZ_SCHEMA, FuzzSummary, FuzzTask, fuzz_worker, run_campaign
+from .shrink import ShrinkResult, drop_node, shrink
+
+__all__ = [
+    "CORPUS_SCHEMA", "FUZZ_SCHEMA", "PROFILES", "ORACLES",
+    "DEFAULT_ORACLES", "MUTATORS",
+    "Divergence", "FuzzCase", "FuzzCaseData", "FuzzProfile",
+    "FuzzSummary", "FuzzTask", "OracleResult", "ShrinkResult",
+    "drop_node", "fuzz_worker", "generate_case", "generate_graph",
+    "load_corpus", "make_entry", "make_stimulus", "mutate",
+    "profile_for_seed", "replay_entry", "run_campaign", "run_oracle",
+    "save_entry", "shrink",
+]

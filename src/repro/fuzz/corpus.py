@@ -1,0 +1,109 @@
+"""Crash-corpus persistence and replay.
+
+Every divergence the fuzzer shrinks is written as one JSON file under
+``tests/corpus/`` (schema ``repro-fuzz-corpus/v1``) and replayed forever
+after by the test suite — the corpus is the regression memory of the
+campaign, exactly like the pinned seed-2563 graph that caught the
+empty-boundary-cone bug.
+
+Entry fields:
+
+=============  ========================================================
+``schema``      ``repro-fuzz-corpus/v1``
+``oracle``      which oracle the entry trips (or used to trip)
+``seed``        original fuzz seed (drives the memory environment)
+``profile``     generator profile name (provenance only)
+``description`` one-line human summary of the divergence
+``xfail``       True = a *known, still-open* divergence: replay asserts
+                it still trips (a silently "fixed" xfail is stale)
+``reason``      tracking note for xfail entries
+``graph``       serialized CDFG (:func:`~repro.ir.serialize.graph_to_dict`)
+``stimulus``    input rows fed to every simulator
+=============  ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from ..core.config import SchedulerConfig
+from ..tech.device import XC7, Device
+
+CORPUS_SCHEMA = "repro-fuzz-corpus/v1"
+
+__all__ = ["CORPUS_SCHEMA", "make_entry", "save_entry", "load_corpus",
+           "replay_entry"]
+
+
+def make_entry(oracle: str, seed: int, profile: str, graph,
+               stimulus: list[dict[str, int]], description: str,
+               xfail: bool = False, reason: str = "") -> dict[str, Any]:
+    """Build one corpus entry (JSON-safe dict)."""
+    from ..ir.serialize import graph_to_dict
+
+    return {
+        "schema": CORPUS_SCHEMA,
+        "oracle": oracle,
+        "seed": seed,
+        "profile": profile,
+        "description": description,
+        "xfail": xfail,
+        "reason": reason,
+        "graph": graph_to_dict(graph),
+        "stimulus": [dict(row) for row in stimulus],
+    }
+
+
+def save_entry(directory: str, entry: dict[str, Any]) -> str:
+    """Write one entry as ``<oracle>-seed<seed>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(
+        directory, f"{entry['oracle']}-seed{entry['seed']}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_corpus(directory: str) -> list[dict[str, Any]]:
+    """Load all ``*.json`` entries (sorted by filename; [] if absent)."""
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name), encoding="utf-8") as fh:
+            entry = json.load(fh)
+        if entry.get("schema") != CORPUS_SCHEMA:
+            raise ValueError(
+                f"{name}: unsupported corpus schema "
+                f"{entry.get('schema')!r} (expected {CORPUS_SCHEMA!r})")
+        entry["_file"] = name
+        entries.append(entry)
+    return entries
+
+
+def replay_entry(entry: dict[str, Any], device: Device = XC7,
+                 config: SchedulerConfig | None = None):
+    """Re-run the entry's oracle on its pinned graph + stimulus.
+
+    Returns the :class:`~repro.fuzz.oracles.OracleResult`. The caller
+    decides pass/fail policy: a normal entry must *not* diverge, an
+    ``xfail`` entry must *still* diverge (else it is stale and should be
+    promoted to a normal entry).
+    """
+    from ..ir.serialize import graph_from_dict
+    from .generate import FuzzCaseData
+    from .oracles import FuzzCase, run_oracle
+
+    graph = graph_from_dict(entry["graph"])
+    stimulus = [{k: int(v) for k, v in row.items()}
+                for row in entry["stimulus"]]
+    data = FuzzCaseData(graph=graph, stimulus=stimulus,
+                        seed=int(entry["seed"]),
+                        profile=entry.get("profile", "corpus"))
+    case = FuzzCase(data, device=device, config=config)
+    return run_oracle(entry["oracle"], case)

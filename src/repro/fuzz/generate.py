@@ -1,0 +1,320 @@
+"""Coverage-directed CDFG generation for the differential fuzzer.
+
+Extends :func:`repro.designs.synthetic.random_dfg` with the knobs the
+fuzzing campaign needs to reach corners the fixed generator cannot:
+per-class opcode weights, mixed/edge bit-width profiles (including 1-bit
+values), deep-chain vs. wide-fan-out shapes, multiple recurrences, and
+black-box memory reads. Every graph returned by :func:`generate_case` is
+``validate``-clean by construction — the generator is the *trusted* half
+of the differential loop, so it must only emit kernels every downstream
+layer claims to support.
+
+The generator is deterministic per ``(seed, profile)``: two processes
+running the same task produce byte-identical graphs and stimulus, which
+is what makes the parallel fuzz runner's summaries reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..ir.builder import DFGBuilder, Value
+from ..ir.graph import CDFG
+from ..ir.types import OpKind
+from ..sim.functional import SimEnvironment
+
+__all__ = ["FuzzProfile", "PROFILES", "FuzzCaseData", "generate_case",
+           "generate_graph", "make_stimulus", "fuzz_env_factory",
+           "profile_for_seed"]
+
+#: Opcode classes the weight table understands.
+OPCODE_CLASSES = ("logic", "shift", "arith", "cmp", "mux", "widthop",
+                  "memory")
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """One coverage direction for the generator.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (appears in summaries and corpus entries).
+    ops:
+        Inclusive ``(lo, hi)`` range for the number of generated operations.
+    widths:
+        Candidate bit widths; each operation draws its target width from
+        this tuple, so mixed-width graphs arise naturally.
+    inputs / recurrences:
+        Primary input count and loop-carried value count.
+    weights:
+        Relative weight per opcode class (see :data:`OPCODE_CLASSES`);
+        missing classes get weight 0.
+    shape:
+        ``"mixed"`` (uniform operand picks), ``"chain"`` (bias toward the
+        most recent values — deep combinational chains), or ``"wide"``
+        (bias toward the earliest values — wide fan-out).
+    memories:
+        Number of black-box read-only memories; LOAD ops address them.
+    stimulus_len:
+        Iterations of random stimulus generated per case.
+    """
+
+    name: str
+    ops: tuple[int, int] = (8, 14)
+    widths: tuple[int, ...] = (8,)
+    inputs: int = 3
+    recurrences: int = 1
+    weights: Mapping[str, float] = field(
+        default_factory=lambda: {"logic": 4.0, "shift": 1.0, "arith": 2.0,
+                                 "cmp": 1.0, "mux": 2.0})
+    shape: str = "mixed"
+    memories: int = 0
+    stimulus_len: int = 8
+
+
+#: The default campaign: each seed is routed to one of these directions
+#: (``profile_for_seed``), so a plain ``repro fuzz --seeds N`` sweeps all
+#: of them without configuration.
+PROFILES: dict[str, FuzzProfile] = {
+    p.name: p for p in (
+        FuzzProfile("logic-dense", ops=(8, 14), widths=(4, 6, 8),
+                    weights={"logic": 6.0, "mux": 2.0, "cmp": 1.0,
+                             "widthop": 1.0}),
+        FuzzProfile("arith-chain", ops=(8, 12), widths=(8, 12),
+                    shape="chain",
+                    weights={"arith": 5.0, "logic": 2.0, "shift": 1.0,
+                             "widthop": 1.0}),
+        FuzzProfile("wide-fanout", ops=(10, 16), widths=(4, 8),
+                    shape="wide", inputs=4,
+                    weights={"logic": 3.0, "mux": 3.0, "cmp": 2.0,
+                             "arith": 1.0}),
+        FuzzProfile("bit-edge", ops=(5, 8), widths=(1, 2, 3), inputs=2,
+                    weights={"logic": 3.0, "arith": 2.0, "cmp": 2.0,
+                             "mux": 2.0, "widthop": 2.0}),
+        FuzzProfile("multi-rec", ops=(8, 12), widths=(4, 8),
+                    recurrences=3,
+                    weights={"logic": 3.0, "arith": 2.0, "mux": 2.0,
+                             "shift": 1.0}),
+        FuzzProfile("memory", ops=(6, 10), widths=(8,), memories=2,
+                    weights={"logic": 3.0, "arith": 2.0, "mux": 1.0,
+                             "memory": 2.0}),
+    )
+}
+
+
+def profile_for_seed(seed: int,
+                     names: tuple[str, ...] | None = None) -> FuzzProfile:
+    """Deterministically route a seed to one campaign profile."""
+    keys = list(names) if names else list(PROFILES)
+    return PROFILES[keys[seed % len(keys)]]
+
+
+@dataclass
+class FuzzCaseData:
+    """Everything one fuzz seed produces: graph, stimulus, environment."""
+
+    graph: CDFG
+    stimulus: list[dict[str, int]]
+    seed: int
+    profile: str
+
+    def env_factory(self) -> SimEnvironment:
+        """Fresh memory environment (per-simulator, so STOREs never leak)."""
+        return fuzz_env_factory(self.graph, self.seed)()
+
+
+# ----------------------------------------------------------------------
+# Graph generation
+# ----------------------------------------------------------------------
+def _adapt(b: DFGBuilder, v: Value, width: int) -> Value:
+    """Make ``v`` exactly ``width`` bits wide (explicit trunc/zext)."""
+    if v.width == width:
+        return v
+    if v.width > width:
+        return v.trunc(width)
+    return v.zext(width)
+
+
+def generate_graph(seed: int, profile: FuzzProfile) -> CDFG:
+    """Generate one ``validate``-clean CDFG for ``(seed, profile)``."""
+    rng = random.Random(seed ^ 0x5EED)
+    widths = profile.widths
+    b = DFGBuilder(f"fuzz_{profile.name.replace('-', '_')}_{seed}",
+                   width=max(widths))
+    pool: list[Value] = []
+
+    def draw_width() -> int:
+        return rng.choice(widths)
+
+    for k in range(profile.inputs):
+        pool.append(b.input(f"i{k}", draw_width()))
+    recs: list[Value] = []
+    for r in range(profile.recurrences):
+        w = draw_width()
+        reg = b.recurrence(f"r{r}", width=w, initial=rng.randrange(1 << w))
+        recs.append(reg)
+        pool.append(reg)
+
+    def pick() -> Value:
+        """Operand choice biased by the profile's shape."""
+        if len(pool) > 2 and profile.shape == "chain" and rng.random() < 0.7:
+            v = rng.choice(pool[-3:])
+        elif len(pool) > 2 and profile.shape == "wide" \
+                and rng.random() < 0.7:
+            v = rng.choice(pool[:max(3, len(pool) // 3)])
+        else:
+            v = rng.choice(pool)
+        return v
+
+    def pick_w(width: int) -> Value:
+        return _adapt(b, pick(), width)
+
+    def select_bit() -> Value:
+        """An explicitly 1-bit MUX select (IR003): compare or bit slice."""
+        v = pick()
+        if rng.random() < 0.4:
+            return v.ne(0) if rng.random() < 0.5 else v.lt(pick_w(v.width))
+        if v.width == 1:
+            return v
+        return v.bit(rng.randrange(v.width))
+
+    classes = [c for c in OPCODE_CLASSES
+               if profile.weights.get(c, 0.0) > 0.0
+               and (c != "memory" or profile.memories > 0)]
+    class_weights = [profile.weights[c] for c in classes]
+
+    ops = rng.randint(*profile.ops)
+    for _ in range(ops):
+        cls = rng.choices(classes, weights=class_weights)[0]
+        w = draw_width()
+        if cls == "logic":
+            kind = rng.choice(["and", "or", "xor", "not"])
+            if kind == "not":
+                v = ~pick()
+            else:
+                a, c = pick_w(w), pick_w(w)
+                v = {"and": a.__and__, "or": a.__or__,
+                     "xor": a.__xor__}[kind](c)
+        elif cls == "shift":
+            a = pick()
+            if a.width == 1:
+                v = ~a
+            else:
+                amount = rng.randrange(1, a.width)
+                v = (a << amount) if rng.random() < 0.5 else (a >> amount)
+        elif cls == "arith":
+            kind = rng.choice(["add", "add", "sub", "neg"])
+            if kind == "neg":
+                v = -pick()
+            else:
+                a, c = pick_w(w), pick_w(w)
+                v = (a + c) if kind == "add" else (a - c)
+        elif cls == "cmp":
+            a = pick()
+            c = pick_w(a.width)
+            v = rng.choice([a.eq, a.ne, a.lt, a.ge, a.slt, a.sge])(c)
+        elif cls == "mux":
+            v = b.mux(select_bit(), pick_w(w), pick_w(w))
+        elif cls == "widthop":
+            a = pick()
+            choice = rng.random()
+            if choice < 0.3 and a.width > 1:
+                lo = rng.randrange(a.width)
+                v = a.slice(lo, rng.randint(1, a.width - lo))
+            elif choice < 0.6:
+                other = pick()
+                v = b.concat(a, other)
+            else:
+                v = _adapt(b, a, w) if a.width != w else a.zext(w + 1)
+        else:  # memory read (black-box; read-only keeps sims race-free)
+            mem = rng.randrange(profile.memories)
+            address = pick_w(min(4, w))
+            v = b.load(address, width=w, name=f"m{mem}")
+        pool.append(v)
+
+    # Close recurrences with late, distinct producers (a shared producer
+    # would need equal initial values); widths are adapted explicitly.
+    used_producers: set[int] = set()
+    for reg in recs:
+        candidates = [v for v in pool[-max(4, ops // 2):]
+                      if v is not reg and v.nid not in used_producers]
+        if not candidates:
+            candidates = [v for v in pool
+                          if v is not reg and v.nid not in used_producers]
+        producer = _adapt(b, rng.choice(candidates), reg.width)
+        used_producers.add(producer.nid)
+        producer.feed(reg, distance=rng.randint(1, 2)
+                      if profile.recurrences > 1 else 1)
+
+    # Fold into the output every pool value that does not already reach it
+    # (IR008): consumption alone is not enough — a recurrence island whose
+    # only sink is its own back-edge is dead despite every node being used.
+    def backward(nid: int, reached: set[int]) -> None:
+        stack = [nid]
+        while stack:
+            cur = stack.pop()
+            if cur in reached:
+                continue
+            reached.add(cur)
+            stack.extend(op.source for op in b.graph.node(cur).operands)
+
+    out_w = max(widths)
+    acc = _adapt(b, pool[-1], out_w)
+    reached: set[int] = set()
+    backward(acc.nid, reached)
+    for v in pool:
+        if v.nid not in reached:
+            acc = acc ^ _adapt(b, v, out_w)
+            backward(acc.nid, reached)
+    b.output(acc, "o")
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Stimulus and memory environments
+# ----------------------------------------------------------------------
+def make_stimulus(graph: CDFG, seed: int, n: int) -> list[dict[str, int]]:
+    """Random per-iteration input maps keyed by the graph's input names."""
+    rng = random.Random(seed ^ 0x57131)
+    return [
+        {node.name or f"in{node.nid}": rng.randrange(1 << node.width)
+         for node in graph.inputs}
+        for _ in range(n)
+    ]
+
+
+def fuzz_env_factory(graph: CDFG, seed: int) -> Callable[[], SimEnvironment]:
+    """Environment factory binding deterministic memories for every
+    LOAD/STORE in ``graph`` (by node name, falling back to rclass)."""
+    names: list[tuple[str, int]] = []
+    seen: set[str] = set()
+    for node in graph.nodes_of_kind(OpKind.LOAD, OpKind.STORE):
+        key = node.name or node.rclass or "mem"
+        if key not in seen:
+            seen.add(key)
+            names.append((key, node.width))
+
+    def factory() -> SimEnvironment:
+        rng = random.Random(seed ^ 0x3E3)
+        return SimEnvironment(memories={
+            key: [rng.randrange(1 << width) for _ in range(8)]
+            for key, width in names
+        })
+
+    return factory
+
+
+def generate_case(seed: int, profile: FuzzProfile | str | None = None
+                  ) -> FuzzCaseData:
+    """Generate graph + stimulus for one fuzz seed (fully deterministic)."""
+    if profile is None:
+        profile = profile_for_seed(seed)
+    elif isinstance(profile, str):
+        profile = PROFILES[profile]
+    graph = generate_graph(seed, profile)
+    stimulus = make_stimulus(graph, seed, profile.stimulus_len)
+    return FuzzCaseData(graph=graph, stimulus=stimulus, seed=seed,
+                        profile=profile.name)

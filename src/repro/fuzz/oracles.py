@@ -1,0 +1,385 @@
+"""Pluggable differential oracles.
+
+Every oracle takes a :class:`FuzzCase` — a graph plus deterministic
+stimulus — and cross-checks two independent computations of the same
+behaviour. Disagreement is reported as a structured :class:`Divergence`;
+an *unexpected* exception inside an oracle is also a divergence (the
+"generate, check, localize" loop treats crashes as findings), while known
+benign outcomes (II=1 genuinely infeasible, solver time-cap) are skips.
+
+The oracle catalog (see ``docs/fuzzing.md``):
+
+========== ==========================================================
+name        cross-check
+========== ==========================================================
+sim-replay  functional simulation vs. cycle-accurate pipeline replay
+            of the milp-map (and heur-map) schedule
+bitblast    word-level functional simulation vs. the bit-blasted
+            boolean network's simulation (bit-level ground truth)
+narrow      ``narrow_graph`` input/output equivalence
+schedule    milp-map vs. milp-base vs. heur-map: independent verifier
+            plus cost sanity (map <= base objective at optimality)
+backend     scipy (HiGHS) vs. branch-and-bound MILP objective
+            agreement on the mapping-aware model
+rtl         Verilog emission + self-checking testbench through the
+            structural linter
+cache       FlowResult -> JSON -> FlowResult round-trip, replayed
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.config import SchedulerConfig
+from ..errors import (
+    AnalysisError,
+    ReproError,
+    SchedulingError,
+    ScheduleVerificationError,
+    SolverError,
+)
+from ..sim.functional import FunctionalSimulator
+from ..sim.pipeline import PipelineSimulator
+from ..tech.device import XC7, Device
+from .generate import FuzzCaseData, fuzz_env_factory
+
+__all__ = ["Divergence", "FuzzCase", "OracleResult", "ORACLES",
+           "DEFAULT_ORACLES", "SkipOracle", "run_oracle"]
+
+_EPS = 1e-6
+
+
+class SkipOracle(Exception):
+    """Raised inside an oracle when the case is out of its scope."""
+
+
+@dataclass
+class Divergence:
+    """One cross-layer disagreement, ready for shrinking and pinning."""
+
+    oracle: str
+    kind: str          # "mismatch" | "verify" | "cost" | "lint" | "error"
+    message: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"oracle": self.oracle, "kind": self.kind,
+                "message": self.message, "details": dict(self.details)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Divergence":
+        return cls(oracle=data["oracle"], kind=data["kind"],
+                   message=data["message"],
+                   details=dict(data.get("details", {})))
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one oracle on one case."""
+
+    oracle: str
+    status: str                      # "pass" | "skip" | "diverge"
+    message: str = ""
+    divergence: Divergence | None = None
+    seconds: float = 0.0
+
+    def to_dict(self, include_timing: bool = True) -> dict[str, Any]:
+        data: dict[str, Any] = {"oracle": self.oracle, "status": self.status}
+        if self.message:
+            data["message"] = self.message
+        if self.divergence is not None:
+            data["divergence"] = self.divergence.to_dict()
+        if include_timing:
+            data["seconds"] = self.seconds
+        return data
+
+
+class FuzzCase:
+    """A graph + stimulus under test, with per-case flow memoization.
+
+    Several oracles need the same ``milp-map`` schedule; solving it once
+    per case (not once per oracle) keeps a campaign's cost dominated by
+    distinct seeds, mirroring how :class:`~repro.runtime.FlowCache`
+    de-duplicates experiment work.
+    """
+
+    def __init__(self, data: FuzzCaseData, device: Device = XC7,
+                 config: SchedulerConfig | None = None) -> None:
+        self.graph = data.graph
+        self.stimulus = list(data.stimulus)
+        self.seed = data.seed
+        self.profile = data.profile
+        self.device = device
+        self.config = config or SchedulerConfig(time_limit=30.0, max_cuts=8)
+        self._flows: dict[str, Any] = {}
+        self._env_factory = fuzz_env_factory(data.graph, data.seed)
+
+    def env(self):
+        """A fresh memory environment (safe to consume per simulator)."""
+        return self._env_factory()
+
+    def flow(self, method: str):
+        """Run (or reuse) one scheduling flow for this case.
+
+        :class:`SkipOracle` is raised for the benign failure modes —
+        II=1 infeasibility and solver time-caps are properties of the
+        *case*, not bugs. Verification and analysis failures propagate:
+        the oracle wrapper turns them into divergences.
+        """
+        if method not in self._flows:
+            from ..experiments.flows import run_flow
+
+            try:
+                self._flows[method] = run_flow(
+                    self.graph, method, self.device, self.config,
+                    design=self.graph.name)
+            except (ScheduleVerificationError, AnalysisError):
+                raise
+            except SolverError as exc:
+                raise SkipOracle(f"{method}: solver gave up ({exc})") from exc
+            except SchedulingError as exc:
+                raise SkipOracle(f"{method}: infeasible ({exc})") from exc
+        return self._flows[method]
+
+    def golden(self) -> list[dict[str, int]]:
+        """Functional-simulation outputs over the stimulus (memoized)."""
+        if "golden" not in self._flows:
+            self._flows["golden"] = FunctionalSimulator(
+                self.graph, self.env()).run(self.stimulus)
+        return self._flows["golden"]
+
+
+def _first_mismatch(golden: list[dict[str, int]],
+                    other: list[dict[str, int]]) -> dict[str, Any]:
+    for k, (a, b) in enumerate(zip(golden, other)):
+        if a != b:
+            return {"iteration": k, "expected": a, "actual": b}
+    return {"iteration": None,
+            "expected_len": len(golden), "actual_len": len(other)}
+
+
+# ----------------------------------------------------------------------
+# Oracles
+# ----------------------------------------------------------------------
+def oracle_sim_replay(case: FuzzCase) -> Divergence | None:
+    """Functional reference vs. cycle-accurate replay of the mapped
+    schedules — the paper's behaviour-preservation claim, dynamically."""
+    golden = case.golden()
+    for method in ("milp-map", "heur-map"):
+        try:
+            schedule = case.flow(method).schedule
+        except SkipOracle:
+            if method == "heur-map":
+                continue        # the exact MILP verdict is the one that counts
+            raise
+        piped = PipelineSimulator(schedule, case.device, case.env())\
+            .run(case.stimulus)
+        if piped != golden:
+            return Divergence(
+                oracle="sim-replay", kind="mismatch",
+                message=f"{method} pipeline replay disagrees with the "
+                        f"functional reference",
+                details={"method": method,
+                         **_first_mismatch(golden, piped)})
+    return None
+
+
+def oracle_bitblast(case: FuzzCase) -> Divergence | None:
+    """Word-level semantics vs. the bit-blasted boolean network."""
+    from ..bitdeps.bitblast import bit_blast
+
+    golden = case.golden()
+    blast = bit_blast(case.graph)
+    blasted = FunctionalSimulator(blast.graph, case.env()).run(case.stimulus)
+    if blasted != golden:
+        return Divergence(
+            oracle="bitblast", kind="mismatch",
+            message="bit-blasted network disagrees with word-level "
+                    "semantics",
+            details=_first_mismatch(golden, blasted))
+    return None
+
+
+def oracle_narrow(case: FuzzCase) -> Divergence | None:
+    """``narrow_graph`` must preserve input/output behaviour exactly."""
+    from ..ir.transforms import narrow_graph
+
+    golden = case.golden()
+    narrowed, _ = narrow_graph(case.graph)
+    outputs = FunctionalSimulator(narrowed, case.env()).run(case.stimulus)
+    if outputs != golden:
+        return Divergence(
+            oracle="narrow", kind="mismatch",
+            message="narrowed graph disagrees with the original",
+            details=_first_mismatch(golden, outputs))
+    return None
+
+
+def oracle_schedule(case: FuzzCase) -> Divergence | None:
+    """All three flows verify independently; at optimality the
+    mapping-aware objective never exceeds the mapping-agnostic one
+    (unit cuts are a subset of the full cut sets)."""
+    from ..core.verify import schedule_problems
+
+    base = case.flow("milp-base")
+    mapped = case.flow("milp-map")
+    for method, flow in (("milp-base", base), ("milp-map", mapped)):
+        problems = schedule_problems(flow.schedule, case.device)
+        if problems:
+            return Divergence(
+                oracle="schedule", kind="verify",
+                message=f"{method} schedule fails independent "
+                        f"re-verification",
+                details={"method": method, "problems": problems[:5]})
+    sb, sm = base.schedule, mapped.schedule
+    if (sb.optimal and sm.optimal
+            and sb.objective is not None and sm.objective is not None
+            and base.source_graph == mapped.source_graph
+            and sm.objective > sb.objective + _EPS):
+        return Divergence(
+            oracle="schedule", kind="cost",
+            message="milp-map objective exceeds milp-base at optimality",
+            details={"map_objective": sm.objective,
+                     "base_objective": sb.objective,
+                     "source_graph": mapped.source_graph})
+    return None
+
+
+def oracle_backend(case: FuzzCase) -> Divergence | None:
+    """scipy (HiGHS) vs. the pure-python branch-and-bound backend must
+    agree on the optimal objective of the mapping-aware MILP."""
+    import dataclasses
+
+    from ..core.mapsched import MapScheduler
+
+    if case.graph.num_operations > 20 or case.graph.total_bits() > 48:
+        raise SkipOracle("model too large for the bnb backend")
+    scipy_sched = case.flow("milp-map").schedule
+    if not scipy_sched.optimal:
+        raise SkipOracle("scipy solve not proved optimal")
+    bnb_config = dataclasses.replace(case.config, backend="bnb",
+                                     time_limit=20.0)
+    try:
+        # Same graph the scipy flow actually scheduled (run_flow may have
+        # narrowed it) — otherwise the two backends solve different models.
+        bnb_sched = MapScheduler(scipy_sched.graph, case.device,
+                                 bnb_config).schedule()
+    except SolverError as exc:
+        raise SkipOracle(f"bnb gave up: {exc}") from exc
+    if not bnb_sched.optimal:
+        raise SkipOracle("bnb solve not proved optimal")
+    a, b = scipy_sched.objective, bnb_sched.objective
+    if a is not None and b is not None \
+            and abs(a - b) > 1e-4 * max(1.0, abs(a)):
+        return Divergence(
+            oracle="backend", kind="cost",
+            message="scipy and bnb backends disagree on the optimal "
+                    "objective",
+            details={"scipy": a, "bnb": b})
+    return None
+
+
+def oracle_rtl(case: FuzzCase) -> Divergence | None:
+    """Emitted module and self-checking testbench pass the structural
+    linter (the offline stand-in for an external Verilog simulator)."""
+    from ..rtl import emit_testbench, emit_verilog, lint_verilog
+
+    schedule = case.flow("milp-map").schedule
+    if schedule.ii != 1:
+        raise SkipOracle(f"emitter supports II=1, schedule has "
+                         f"II={schedule.ii}")
+    module = emit_verilog(schedule)
+    problems = lint_verilog(module)
+    if problems:
+        return Divergence(oracle="rtl", kind="lint",
+                          message="emitted module fails the Verilog linter",
+                          details={"problems": problems[:5]})
+    bench = emit_testbench(schedule, case.device, case.stimulus,
+                           env=case.env())
+    problems = lint_verilog(bench)
+    if problems:
+        return Divergence(oracle="rtl", kind="lint",
+                          message="emitted testbench fails the Verilog "
+                                  "linter",
+                          details={"problems": problems[:5]})
+    return None
+
+
+def oracle_cache(case: FuzzCase) -> Divergence | None:
+    """FlowResult -> JSON -> FlowResult must be lossless, and the restored
+    schedule must still replay against the functional reference."""
+    from ..ir.serialize import graph_to_dict, schedule_to_dict
+    from ..runtime.cache import flow_result_from_dict, flow_result_to_dict
+
+    flow = case.flow("milp-map")
+    wire = json.loads(json.dumps(flow_result_to_dict(flow)))
+    restored = flow_result_from_dict(wire)
+    if graph_to_dict(restored.schedule.graph) \
+            != graph_to_dict(flow.schedule.graph):
+        return Divergence(oracle="cache", kind="mismatch",
+                          message="graph changed across the cache "
+                                  "round-trip")
+    if schedule_to_dict(restored.schedule) != schedule_to_dict(flow.schedule):
+        return Divergence(oracle="cache", kind="mismatch",
+                          message="schedule changed across the cache "
+                                  "round-trip")
+    if restored.report.to_dict() != flow.report.to_dict():
+        return Divergence(oracle="cache", kind="mismatch",
+                          message="hardware report changed across the "
+                                  "cache round-trip")
+    golden = FunctionalSimulator(restored.schedule.graph, case.env())\
+        .run(case.stimulus)
+    piped = PipelineSimulator(restored.schedule, case.device, case.env())\
+        .run(case.stimulus)
+    if piped != golden:
+        return Divergence(oracle="cache", kind="mismatch",
+                          message="restored schedule no longer replays "
+                                  "against the functional reference",
+                          details=_first_mismatch(golden, piped))
+    return None
+
+
+ORACLES: dict[str, Callable[[FuzzCase], Divergence | None]] = {
+    "sim-replay": oracle_sim_replay,
+    "bitblast": oracle_bitblast,
+    "narrow": oracle_narrow,
+    "schedule": oracle_schedule,
+    "backend": oracle_backend,
+    "rtl": oracle_rtl,
+    "cache": oracle_cache,
+}
+
+#: Run for every seed unless ``--oracles`` narrows the set. ``backend``
+#: self-gates on model size, so including it is cheap.
+DEFAULT_ORACLES = tuple(ORACLES)
+
+
+def run_oracle(name: str, case: FuzzCase) -> OracleResult:
+    """Run one oracle, folding every outcome into an :class:`OracleResult`.
+
+    Unexpected library errors become divergences of kind ``"error"`` —
+    a crash on a valid input is a finding, not noise.
+    """
+    import time
+
+    fn = ORACLES[name]
+    t0 = time.perf_counter()
+    try:
+        divergence = fn(case)
+    except SkipOracle as exc:
+        return OracleResult(oracle=name, status="skip", message=str(exc),
+                            seconds=time.perf_counter() - t0)
+    except ReproError as exc:
+        divergence = Divergence(
+            oracle=name, kind="error",
+            message=f"{type(exc).__name__}: {exc}",
+            details={"exception": type(exc).__name__})
+    seconds = time.perf_counter() - t0
+    if divergence is None:
+        return OracleResult(oracle=name, status="pass", seconds=seconds)
+    return OracleResult(oracle=name, status="diverge",
+                        message=divergence.message, divergence=divergence,
+                        seconds=seconds)

@@ -1,0 +1,241 @@
+"""Campaign driver: fan seeds over processes, collect a JSON summary.
+
+One *task* = one seed: generate (and on odd seeds mutate) a graph, run
+the selected oracles, and — when one diverges — shrink the case in-worker
+with :func:`repro.fuzz.shrink.shrink` so the summary only ever contains
+*minimal* repros. Tasks are picklable and the worker is a module-level
+function, so :func:`repro.runtime.run_parallel`'s ordered merge makes the
+``--jobs 2`` summary byte-identical to the serial one (the determinism
+the test suite pins).
+
+The summary schema is ``repro-fuzz/v1``. ``FuzzSummary.canonical_json``
+strips wall-clock fields (timing, jobs, budget bookkeeping) — that is the
+byte-stable form; the full ``to_dict`` additionally carries per-oracle
+seconds for the nightly artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.config import SchedulerConfig
+from ..runtime.parallel import resolve_jobs, run_parallel
+from ..tech.device import XC7, Device
+from .corpus import make_entry
+from .generate import FuzzCaseData, generate_case, make_stimulus
+from .mutate import mutate
+from .oracles import DEFAULT_ORACLES, FuzzCase, run_oracle
+from .shrink import shrink
+
+FUZZ_SCHEMA = "repro-fuzz/v1"
+
+__all__ = ["FUZZ_SCHEMA", "FuzzTask", "FuzzSummary", "run_campaign"]
+
+#: Fields of a per-seed result that carry wall-clock time (stripped from
+#: the canonical summary).
+_TIMING_KEYS = ("seconds",)
+
+
+@dataclass(frozen=True)
+class FuzzTask:
+    """One unit of campaign work (picklable; crosses process boundaries)."""
+
+    seed: int
+    oracles: tuple[str, ...] = DEFAULT_ORACLES
+    profile: str | None = None        # None = route by seed
+    mutate_rounds: int = 1            # applied on odd seeds only
+    shrink_divergences: bool = True
+    shrink_checks: int = 80
+    device: Device = XC7
+    config: SchedulerConfig | None = None
+
+
+def _case_for_task(task: FuzzTask) -> FuzzCaseData:
+    data = generate_case(task.seed, task.profile)
+    if task.mutate_rounds > 0 and task.seed % 2 == 1:
+        mutated = mutate(data.graph, task.seed, rounds=task.mutate_rounds)
+        if mutated is not data.graph:
+            # Mutation preserves the input interface (DCE keeps primary
+            # inputs), so the original stimulus still applies; regenerate
+            # anyway so row count matches the profile even after clipping.
+            data = FuzzCaseData(
+                graph=mutated,
+                stimulus=make_stimulus(mutated, task.seed,
+                                       len(data.stimulus)),
+                seed=task.seed, profile=data.profile + "+mut")
+    return data
+
+
+def _shrink_divergence(task: FuzzTask, data: FuzzCaseData,
+                       oracle: str) -> dict[str, Any]:
+    """Minimize a diverging case against its one failing oracle."""
+
+    def failing(graph, stimulus) -> bool:
+        candidate = FuzzCase(
+            FuzzCaseData(graph=graph, stimulus=stimulus, seed=data.seed,
+                         profile=data.profile),
+            device=task.device, config=task.config)
+        return run_oracle(oracle, candidate).status == "diverge"
+
+    result = shrink(data.graph, data.stimulus, failing,
+                    max_checks=task.shrink_checks)
+    return {
+        "nodes": len(result.graph),
+        "stimulus_len": len(result.stimulus),
+        "checks": result.checks,
+        "entry": make_entry(
+            oracle=oracle, seed=data.seed, profile=data.profile,
+            graph=result.graph, stimulus=result.stimulus,
+            description=f"shrunk divergence of seed {data.seed} "
+                        f"({data.profile}) against oracle {oracle}"),
+    }
+
+
+def fuzz_worker(task: FuzzTask) -> dict[str, Any]:
+    """Run one seed end to end (module-level: the pool pickles it)."""
+    data = _case_for_task(task)
+    case = FuzzCase(data, device=task.device, config=task.config)
+    oracles: dict[str, Any] = {}
+    divergences: list[dict[str, Any]] = []
+    for name in task.oracles:
+        result = run_oracle(name, case)
+        record: dict[str, Any] = {"status": result.status,
+                                  "seconds": result.seconds}
+        if result.message:
+            record["message"] = result.message
+        oracles[name] = record
+        if result.status == "diverge":
+            entry: dict[str, Any] = result.divergence.to_dict()
+            if task.shrink_divergences:
+                entry["shrunk"] = _shrink_divergence(task, data, name)
+            divergences.append(entry)
+    return {
+        "seed": task.seed,
+        "profile": data.profile,
+        "nodes": len(data.graph),
+        "oracles": oracles,
+        "divergences": divergences,
+    }
+
+
+@dataclass
+class FuzzSummary:
+    """Aggregated campaign outcome."""
+
+    results: list[dict[str, Any]]
+    oracles: tuple[str, ...]
+    seeds_requested: int
+    stopped_early: bool = False
+    elapsed: float = 0.0
+    jobs: int = 1
+    corpus_files: list[str] = field(default_factory=list)
+
+    @property
+    def divergences(self) -> list[dict[str, Any]]:
+        return [d for r in self.results for d in r["divergences"]]
+
+    def counts(self) -> dict[str, int]:
+        tally = {"pass": 0, "skip": 0, "diverge": 0}
+        for r in self.results:
+            for record in r["oracles"].values():
+                tally[record["status"]] += 1
+        return tally
+
+    def to_dict(self, include_timing: bool = True) -> dict[str, Any]:
+        results = self.results
+        if not include_timing:
+            results = [self._strip_timing(r) for r in results]
+        data: dict[str, Any] = {
+            "schema": FUZZ_SCHEMA,
+            "oracles": list(self.oracles),
+            "seeds_requested": self.seeds_requested,
+            "seeds_run": len(self.results),
+            "stopped_early": self.stopped_early,
+            "counts": self.counts(),
+            "results": results,
+        }
+        if include_timing:
+            data["elapsed"] = self.elapsed
+            data["jobs"] = self.jobs
+            data["corpus_files"] = list(self.corpus_files)
+        return data
+
+    @staticmethod
+    def _strip_timing(result: dict[str, Any]) -> dict[str, Any]:
+        clean = dict(result)
+        clean["oracles"] = {
+            name: {k: v for k, v in record.items()
+                   if k not in _TIMING_KEYS}
+            for name, record in result["oracles"].items()
+        }
+        return clean
+
+    def canonical_json(self) -> str:
+        """Byte-stable summary: wall-clock and pool-shape fields removed."""
+        return json.dumps(self.to_dict(include_timing=False),
+                          sort_keys=True, separators=(",", ":"))
+
+
+def run_campaign(seeds: int = 50, seed_start: int = 0,
+                 oracles: tuple[str, ...] = DEFAULT_ORACLES,
+                 profiles: tuple[str, ...] | None = None,
+                 time_budget: float | None = None,
+                 jobs: int | None = None,
+                 device: Device = XC7,
+                 config: SchedulerConfig | None = None,
+                 mutate_rounds: int = 1,
+                 shrink_divergences: bool = True,
+                 corpus_dir: str | None = None,
+                 progress: Callable[[FuzzTask], None] | None = None
+                 ) -> FuzzSummary:
+    """Run ``seeds`` fuzz tasks, optionally bounded by ``time_budget``.
+
+    The budget is checked *between* chunks of ``jobs * 4`` tasks, so a
+    budgeted run still gets the ordered-merge determinism within every
+    chunk and never kills a solver mid-flight.
+    """
+    from .generate import PROFILES, profile_for_seed
+
+    names = tuple(profiles) if profiles else None
+    if names:
+        unknown = [n for n in names if n not in PROFILES]
+        if unknown:
+            raise ValueError(f"unknown fuzz profile(s): {unknown}")
+    tasks = [
+        FuzzTask(seed=seed_start + k, oracles=tuple(oracles),
+                 profile=(profile_for_seed(seed_start + k, names).name
+                          if names else None),
+                 mutate_rounds=mutate_rounds,
+                 shrink_divergences=shrink_divergences,
+                 device=device, config=config)
+        for k in range(seeds)
+    ]
+    jobs = resolve_jobs(jobs)
+    t0 = time.monotonic()
+    results: list[dict[str, Any]] = []
+    stopped_early = False
+    chunk = max(1, jobs * 4)
+    for lo in range(0, len(tasks), chunk):
+        if time_budget is not None and time.monotonic() - t0 >= time_budget:
+            stopped_early = True
+            break
+        results.extend(run_parallel(tasks[lo:lo + chunk], fuzz_worker,
+                                    jobs=jobs, progress=progress))
+
+    summary = FuzzSummary(results=results, oracles=tuple(oracles),
+                          seeds_requested=seeds,
+                          stopped_early=stopped_early,
+                          elapsed=time.monotonic() - t0, jobs=jobs)
+    if corpus_dir:
+        from .corpus import save_entry
+
+        for result in results:
+            for div in result["divergences"]:
+                entry = div.get("shrunk", {}).get("entry")
+                if entry:
+                    summary.corpus_files.append(
+                        save_entry(corpus_dir, entry))
+    return summary

@@ -15,11 +15,14 @@ import re
 __all__ = ["lint_verilog"]
 
 _DECL_RE = re.compile(
-    r"\b(?:input\s+wire|output\s+wire|wire|reg)\s*"
+    r"\b(?:input\s+wire|output\s+wire|wire|reg|integer)\s*"
     r"(?:\[\s*(-?\d+)\s*:\s*(-?\d+)\s*\])?\s*"
     r"([A-Za-z_][A-Za-z_0-9]*)"
 )
-_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+_STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+# The optional ``$`` must be part of the match: otherwise a system task
+# like ``$display`` is scanned as the undeclared identifier ``display``.
+_IDENT_RE = re.compile(r"\$?[A-Za-z_][A-Za-z_0-9]*")
 _NUM_SUFFIX_RE = re.compile(r"^(?:b[01]+|d\d+|h[0-9a-fA-F]+)$")
 _KEYWORDS = {
     "module", "endmodule", "input", "output", "wire", "reg", "assign",
@@ -52,8 +55,10 @@ def lint_verilog(text: str) -> list[str]:
         declared.add(name)
 
     # Pass 2: every identifier on an assignment RHS must be declared.
+    # String literals are erased first — a $display format such as
+    # "x = %0d, expected %0d" is prose, not a reference.
     for line_no, line in enumerate(text.splitlines(), start=1):
-        stripped = line.strip()
+        stripped = _STRING_RE.sub('""', line).strip()
         if "=" not in stripped:
             continue
         if stripped.startswith("//") or stripped.startswith("module"):

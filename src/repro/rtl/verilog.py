@@ -166,6 +166,19 @@ class VerilogEmitter:
         self._stage_depth[source] = max(self._stage_depth.get(source, 0), gap)
         return name if gap == 0 else f"{name}_r{gap}"
 
+    def _operand_ref(self, node: Node, slot: int) -> str:
+        """Staged reference for one operand, with constants as literals.
+
+        CONST nodes are never declared as wires, so referencing one by name
+        (as ``_staged_ref`` would) produces a dangling identifier; they are
+        also the same in every cycle, so they never need staging.
+        """
+        op = node.operands[slot]
+        src = self.graph.node(op.source)
+        if src.kind is OpKind.CONST:
+            return f"{src.width}'d{src.value}"
+        return self._staged_ref(op.source, node.nid, op.distance)
+
     # ------------------------------------------------------------------
     def emit(self) -> str:
         """Return the module text."""
@@ -213,8 +226,7 @@ class VerilogEmitter:
         for node in memories:
             name = _ident(node)
             mem = f"{name}_mem"
-            addr = self._staged_ref(node.operands[0].source, node.nid,
-                                    node.operands[0].distance)
+            addr = self._operand_ref(node, 0)
             mem_lines.append(
                 f"reg [{node.width - 1}:0] {mem} [0:1023]; "
                 f"// black-box {node.kind.value}"
@@ -224,8 +236,7 @@ class VerilogEmitter:
                     f"wire [{node.width - 1}:0] {name} = {mem}[{addr}];"
                 )
             else:
-                data = self._staged_ref(node.operands[1].source, node.nid,
-                                        node.operands[1].distance)
+                data = self._operand_ref(node, 1)
                 mem_lines.append(
                     f"wire [{node.width - 1}:0] {name} = {data};"
                 )

@@ -1,0 +1,39 @@
+"""Replay the pinned crash corpus (`tests/corpus/*.json`).
+
+Every entry is a shrunk repro of a divergence the fuzzer once found (or a
+hand-pinned regression). Normal entries must stay clean forever; ``xfail``
+entries document a known-open divergence and must *still* trip — a
+silently passing xfail is stale and should be promoted to a normal entry.
+
+This file is the fast PR-CI fuzzing gate (the full campaign runs
+nightly); keep the whole corpus replay under 30 seconds.
+"""
+
+import os
+
+import pytest
+
+from repro.core import SchedulerConfig
+from repro.fuzz import load_corpus, replay_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+FAST = SchedulerConfig(ii=1, tcp=10.0, time_limit=20.0, max_cuts=8)
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, "the pinned corpus should never disappear"
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[e["_file"] for e in ENTRIES])
+def test_corpus_entry_replays(entry):
+    result = replay_entry(entry, config=FAST)
+    if entry.get("xfail"):
+        assert result.status == "diverge", (
+            f"{entry['_file']} is marked xfail ({entry.get('reason', '')}) "
+            f"but no longer diverges — promote it to a normal entry")
+    else:
+        assert result.status != "diverge", (
+            f"{entry['_file']} regressed: {result.message}")

@@ -178,3 +178,37 @@ class TestSynthetic:
         sim = FunctionalSimulator(g)
         for _ in range(5):
             sim.step({f"i{k}": rng.randrange(256) for k in range(2)})
+
+    def test_mux_selects_are_one_bit(self):
+        # Regression: selects used to be raw pool values, relying on the
+        # simulator's implicit `& 1` truncation that the hardware would
+        # not perform. The generator must emit an explicit 1-bit select.
+        from repro.ir.types import OpKind
+
+        for seed in range(40):
+            g = random_dfg(seed, ops=15, recurrences=2)
+            for node in g.nodes_of_kind(OpKind.MUX):
+                sel = g.node(node.operands[0].source)
+                assert sel.width == 1, (
+                    f"seed {seed}: MUX {node.nid} select {sel.nid} "
+                    f"is {sel.width} bits wide")
+
+    def test_width_one_graphs_build(self):
+        # width=1 used to crash on randrange(1, 1) for the shift amount.
+        for seed in (0, 7, 19):
+            g = random_dfg(seed, ops=12, width=1, inputs=2)
+            assert check_problems(g) == []
+
+    def test_pinned_seeds_replay_identically(self):
+        # The 1-bit-select fix must not disturb the RNG stream for the
+        # historical width>1 seeds other tests pin: these digests were
+        # recorded from the pre-fix generator (verified byte-identical).
+        import hashlib
+
+        from repro.ir.serialize import dumps
+
+        pinned = {2563: "a44cd3e8b2c2a14b", 3505: "835c8fb6b776e377"}
+        for seed, digest in pinned.items():
+            text = dumps(random_dfg(seed))
+            assert hashlib.sha256(
+                text.encode()).hexdigest()[:16] == digest

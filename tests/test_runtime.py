@@ -429,3 +429,50 @@ def test_constant_cone_after_narrowing_replays_and_emits():
 def test_benchmark_names_roundtrip_through_tasks():
     for name in BENCHMARKS:
         assert name == name.upper()
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips, property-tested over *fuzzed* schedules
+# (not just benchmark ones): any schedule the flows can produce must
+# survive dict -> JSON -> dict byte-exactly.
+# ----------------------------------------------------------------------
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.fuzz import generate_case  # noqa: E402
+from repro.ir.serialize import cut_from_dict, cut_to_dict  # noqa: E402
+
+
+def _fuzzed_flow(seed: int):
+    case = generate_case(seed)
+    return run_flow(case.graph, "heur-map", XC7, FAST, lint=False)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=60))
+def test_fuzzed_schedule_roundtrips_exactly(seed):
+    sched = _fuzzed_flow(seed).schedule
+    wire = json.loads(json.dumps(schedule_to_dict(sched)))
+    assert schedule_to_dict(schedule_from_dict(wire)) \
+        == schedule_to_dict(sched)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=60))
+def test_fuzzed_cuts_roundtrip_exactly(seed):
+    sched = _fuzzed_flow(seed).schedule
+    assert sched.cover, "heur-map schedules must carry a cover"
+    for cut in sched.cover.values():
+        wire = json.loads(json.dumps(cut_to_dict(cut)))
+        assert cut_from_dict(wire) == cut
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=60))
+def test_fuzzed_hardware_report_roundtrips(seed):
+    report = _fuzzed_flow(seed).report
+    wire = json.loads(json.dumps(report.to_dict()))
+    assert HardwareReport.from_dict(wire) == report

@@ -127,3 +127,37 @@ class TestPipelineReplay:
                   for k in range(20)]
         assert replay_equivalent(sched, XC7, stream,
                                  env_factory=lambda: make_dr_env())
+
+
+class TestExhaustiveSmallWidth:
+    """Pipeline replay vs. functional simulation over *all* inputs of
+    every two-input opcode at widths 1-3 (satellite of the fuzzing PR:
+    benchmarks only cover these opcodes incidentally)."""
+
+    OPS = {
+        "and": lambda a, b: a & b,
+        "or": lambda a, b: a | b,
+        "xor": lambda a, b: a ^ b,
+        "add": lambda a, b: a + b,
+        "sub": lambda a, b: a - b,
+        "eq": lambda a, b: a.eq(b),
+        "ne": lambda a, b: a.ne(b),
+        "lt": lambda a, b: a.lt(b),
+        "ge": lambda a, b: a.ge(b),
+        "slt": lambda a, b: a.slt(b),
+        "sge": lambda a, b: a.sge(b),
+    }
+
+    @pytest.mark.parametrize("opname", sorted(OPS))
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_replay_matches_functional_exhaustively(self, opname, width):
+        b = DFGBuilder(f"exh_{opname}_{width}", width=width)
+        x, y = b.input("x", width), b.input("y", width)
+        b.output(self.OPS[opname](x, y), "o")
+        graph = b.build()
+        sched = MapScheduler(graph, XC7,
+                             SchedulerConfig(ii=1, tcp=10.0,
+                                             max_cuts=8)).schedule()
+        stream = [{"x": a, "y": c}
+                  for a in range(1 << width) for c in range(1 << width)]
+        assert replay_equivalent(sched, XC7, stream), (opname, width)
