@@ -16,6 +16,8 @@ Usage::
                          [--fail-on warning] [--baseline FILE]
     python -m repro fuzz [--seeds N] [--time-budget S] [--oracles a,b]
                          [--jobs N] [--corpus-dir DIR] [--format json]
+    python -m repro bench [DESIGN ...] [--quick] [--output FILE]
+                          [--baseline FILE] [--max-ratio X] [--jobs N]
 
 ``--jobs N`` fans (design, method) tasks over a process pool with an
 ordered merge — the output is byte-identical to the serial run.
@@ -59,7 +61,9 @@ from .designs.registry import BENCHMARKS
 def _config(args) -> SchedulerConfig:
     return SchedulerConfig(ii=args.ii, tcp=args.tcp, alpha=args.alpha,
                            beta=1.0 - args.alpha, time_limit=args.time_limit,
-                           narrow=not args.no_narrow)
+                           narrow=not args.no_narrow,
+                           presolve=not args.no_presolve,
+                           warm_start=not args.no_warm_start)
 
 
 def _device(args):
@@ -95,6 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--no-narrow", action="store_true",
                        help="disable dataflow-based graph narrowing before "
                             "scheduling (see docs/dataflow.md)")
+    sched.add_argument("--no-presolve", action="store_true",
+                       help="disable MILP presolve before solving "
+                            "(see docs/performance.md)")
+    sched.add_argument("--no-warm-start", action="store_true",
+                       help="disable heuristic warm starts for the MILP "
+                            "solves (see docs/performance.md)")
 
     runtime = argparse.ArgumentParser(add_help=False)
     runtime.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -173,6 +183,28 @@ def _build_parser() -> argparse.ArgumentParser:
                         "only new diagnostics count toward --fail-on")
     p.add_argument("--write-baseline", metavar="FILE",
                    help="record all current findings to FILE and exit 0")
+
+    p = sub.add_parser("bench",
+                       parents=[sched, device_parent("xc7"), runtime],
+                       help="MILP hot-path performance benchmark "
+                            "(writes BENCH_milp.json; see "
+                            "docs/performance.md)")
+    p.add_argument("designs", nargs="*",
+                   help="benchmark subset (default: all nine, or the "
+                        "quick trio with --quick)")
+    p.add_argument("--quick", action="store_true",
+                   help="small fast matrix (the CI perf-smoke shape)")
+    p.add_argument("--output", default="BENCH_milp.json", metavar="FILE",
+                   help="write the JSON report here "
+                        "(default BENCH_milp.json; '-' to skip)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="compare wall times against this stored bench "
+                        "report and exit 1 on regressions")
+    p.add_argument("--max-ratio", type=float, default=3.0, metavar="X",
+                   help="regression threshold for --baseline "
+                        "(default 3.0x)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="stdout format (default text)")
 
     p = sub.add_parser("fuzz",
                        parents=[sched, device_parent("xc7"), runtime],
@@ -372,6 +404,42 @@ def _cmd_fuzz(args) -> int:
     return 1 if summary.divergences else 0
 
 
+def _cmd_bench(args) -> int:
+    from .experiments.bench import compare_to_baseline, format_bench, run_bench
+
+    result = run_bench(designs=[d.upper() for d in args.designs] or None,
+                       device=_device(args), config=_config(args),
+                       quick=args.quick, jobs=args.jobs,
+                       progress=_progress("benching"))
+    data = result.to_dict()
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"repro bench: wrote {args.output}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(format_bench(result))
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"repro bench: failed to load baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+        regressions = compare_to_baseline(data, baseline,
+                                          max_ratio=args.max_ratio)
+        for line in regressions:
+            print(f"  REGRESSION {line}")
+        if regressions:
+            return 1
+        print(f"repro bench: no regressions vs {args.baseline} "
+              f"(max-ratio {args.max_ratio:.1f}x)", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -386,6 +454,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     if args.command == "table1":
         from .experiments import format_table1, run_table1

@@ -49,6 +49,15 @@ class SchedulerConfig:
         enumeration and MILP construction (dataflow-proven width
         shrinking and constant folding). ``--no-narrow`` on the CLI and
         ``narrow=False`` here are the escape hatch.
+    presolve:
+        Run :func:`repro.milp.presolve.presolve` on every scheduling
+        model before handing it to the backend (``--no-presolve`` to
+        ablate; see docs/performance.md).
+    warm_start:
+        Seed each solve with the list-scheduling heuristic's feasible
+        schedule at the same II: a cutoff constraint for the scipy
+        backend, an incumbent + branching hints for bnb
+        (``--no-warm-start`` to ablate).
     """
 
     ii: int = 1
@@ -64,6 +73,8 @@ class SchedulerConfig:
     paper_objective: bool = False
     mip_rel_gap: float | None = None
     narrow: bool = True
+    presolve: bool = True
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         if self.ii < 1:

@@ -463,6 +463,100 @@ class MappingAwareFormulation:
         self.model.minimize(obj)
 
     # ------------------------------------------------------------------
+    # Encode (warm starts)
+    # ------------------------------------------------------------------
+    def assignment_from_schedule(self, schedule: Schedule
+                                 ) -> dict[int, float] | None:
+        """Translate a feasible :class:`Schedule` into a model assignment.
+
+        The inverse of :meth:`extract`, used to seed the solver with the
+        heuristic schedule (see ``docs/performance.md``). Returns ``None``
+        when the schedule does not fit this formulation (cycle beyond the
+        horizon, cover cut not among the enumerated ones at a node that
+        needs one) — callers always re-validate the result with
+        :meth:`Model.check` before trusting it, so this only needs to be
+        best-effort.
+        """
+        if not self._built:
+            raise ModelError("build() the formulation before encoding into it")
+        ii = self.config.ii
+        values: dict[int, float] = {}
+
+        # Schedule + cycle-offset variables.
+        for nid, svars in self.sched_vars.items():
+            t = schedule.cycle.get(nid)
+            if t is None or not (0 <= t < self.horizon):
+                return None
+            for z, var in enumerate(svars):
+                values[var.index] = 1.0 if z == t else 0.0
+            start = float(schedule.start.get(nid, 0.0))
+            values[self._l[nid].index] = min(max(start, 0.0), self.budget)
+
+        # Cut-selection binaries: exact cut match (coverage of interior
+        # nodes then follows from the selected roots' cones).
+        for nid, pairs in self.cut_vars.items():
+            chosen = schedule.cover.get(nid)
+            for cut, var in pairs:
+                values[var.index] = 1.0 if cut == chosen else 0.0
+
+        def consumed(u: int, dist: int, v: int) -> bool:
+            for cut, var in self.cut_vars.get(v, ()):
+                if values.get(var.index) == 1.0 and (u, dist) in cut.entries:
+                    return True
+            if self._forced_root(v):
+                unit = self.cuts[v].unit
+                if unit is not None and (u, dist) in unit.entries:
+                    return True
+            return False
+
+        # Liveness: live[u,t] must dominate def - kill - (1 - consumed)
+        # for every consumer; with one cut selected per node this is
+        # exactly "defined by t, not yet killed by every consumer".
+        def cycle_of(nid: int) -> int | None:
+            return schedule.cycle.get(nid) if nid in self.sched_vars else None
+
+        for u, lvars in self.live_vars.items():
+            u_cycle = cycle_of(u)
+            kills: list[tuple[int, int]] = []  # (consumer, dist) per use
+            for v, pairs in self.cut_vars.items():
+                for cut, var in pairs:
+                    if values.get(var.index) != 1.0:
+                        continue
+                    for eu, dist in cut.entries:
+                        if eu == u:
+                            kills.append((v, dist))
+            for v in self._schedulable_ids():
+                if not self._forced_root(v):
+                    continue
+                unit = self.cuts[v].unit
+                if unit is None:
+                    continue
+                for eu, dist in unit.entries:
+                    if eu == u:
+                        kills.append((v, dist))
+            for t, lvar in enumerate(lvars):
+                live = 0.0
+                for v, dist in kills:
+                    defined = u_cycle is None or u_cycle <= t
+                    v_cycle = cycle_of(v)
+                    killed = v_cycle is None or v_cycle + ii * dist <= t
+                    if defined and not killed and consumed(u, dist, v):
+                        live = 1.0
+                        break
+                values[lvar.index] = live
+
+        # Resource counters: the max modulo-slot occupancy actually used.
+        for rclass, xr in self.resource_vars.items():
+            slots = [0] * ii
+            for node in self.graph:
+                if node.is_blackbox and node.rclass == rclass:
+                    t = schedule.cycle.get(node.nid)
+                    if t is not None and node.nid in self.sched_vars:
+                        slots[t % ii] += 1
+            values[xr.index] = float(min(max(slots), xr.hi))
+        return values
+
+    # ------------------------------------------------------------------
     # Decode
     # ------------------------------------------------------------------
     def extract(self, solution: Solution, method: str) -> Schedule:

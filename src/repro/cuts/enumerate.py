@@ -282,3 +282,71 @@ def enumerate_cuts(graph: CDFG, k: int, max_cuts: int = 12,
                    max_candidates: int = 20000) -> dict[int, CutSet]:
     """Convenience wrapper: run a :class:`CutEnumerator` and return its cuts."""
     return CutEnumerator(graph, k, max_cuts, max_candidates).run()
+
+
+def prune_cut_sets(graph: CDFG, cuts: dict[int, CutSet], device,
+                   budget: float) -> tuple[dict[int, CutSet], int]:
+    """Drop provably-useless cuts before the MILP is even built.
+
+    Two conservative rules, each preserving at least one optimal schedule
+    (see docs/performance.md):
+
+    * **over-budget** — a merged cut whose mapped delay exceeds the
+      usable clock budget can never satisfy Eq. 8 (``L >= 0``), so
+      selecting it is infeasible; drop it.
+    * **dominance** — a merged cut C is dominated by a sibling C' with
+      the *same interior* (identical coverage), ``entries(C') subset of
+      entries(C)`` (weaker chain/liveness obligations), and
+      delay/LUT-cost no worse; any schedule selecting C stays feasible
+      and no more expensive selecting C' instead.
+
+    Unit cuts are never dropped: they are the fallback the coverage
+    constraints and forced roots rely on, and an over-budget *unit* cut
+    means the node itself cannot meet timing — a diagnosis the solver
+    should surface, not the pruner. Returns the pruned mapping (same
+    object, mutated CutSets) and the number of cuts removed.
+    """
+    from ..tech.area import AreaModel
+    from ..tech.delay import DelayModel
+
+    delay_model = DelayModel(device, graph)
+    area_model = AreaModel(device, graph)
+    dropped = 0
+    for nid, cs in cuts.items():
+        if len(cs.selectable) <= 1:
+            continue
+        node = graph.node(nid)
+        scored = [
+            (cut, delay_model.cut_delay(node, cut),
+             area_model.cut_lut_cost(node, cut))
+            for cut in cs.selectable
+        ]
+        kept: list[Cut] = []
+        for i, (cut, delay, cost) in enumerate(scored):
+            if cut.is_unit:
+                kept.append(cut)
+                continue
+            if delay > budget + 1e-9:
+                dropped += 1
+                continue
+            entries = set(cut.entries)
+
+            def dominates(j: int) -> bool:
+                other, d2, c2 = scored[j]
+                if (other is cut or other.interior != cut.interior
+                        or not set(other.entries) <= entries
+                        or d2 > delay + 1e-9 or c2 > cost + 1e-9):
+                    return False
+                # Ties broken by position so equal twins cannot
+                # eliminate each other: only the earlier one survives.
+                strict = (set(other.entries) < entries
+                          or d2 < delay - 1e-9 or c2 < cost - 1e-9)
+                return strict or j < i
+
+            if any(dominates(j) for j in range(len(scored))):
+                dropped += 1
+            else:
+                kept.append(cut)
+        if kept:
+            cs.selectable = kept
+    return cuts, dropped

@@ -41,6 +41,7 @@ from ..errors import (
     ScheduleVerificationError,
     SolverError,
 )
+from ..milp.model import SolveStatus
 from ..sim.functional import FunctionalSimulator
 from ..sim.pipeline import PipelineSimulator
 from ..tech.device import XC7, Device
@@ -282,6 +283,69 @@ def oracle_backend(case: FuzzCase) -> Divergence | None:
     return None
 
 
+def oracle_presolve(case: FuzzCase) -> Divergence | None:
+    """Presolve must be solution-preserving: the reduced-model solve,
+    expanded back through :class:`~repro.milp.Postsolve`, must match a
+    raw solve's status and objective, and its assignment must satisfy
+    every *original* constraint."""
+    import dataclasses
+
+    from ..core.formulation import MappingAwareFormulation
+    from ..core.mapsched import MapScheduler
+
+    # Both solves are scipy/HiGHS, so this gate can afford to be much
+    # looser than the bnb-bound backend oracle's.
+    if case.graph.num_operations > 64 or case.graph.total_bits() > 256:
+        raise SkipOracle("model too large for a double solve")
+    # Same graph the scipy flow actually scheduled (run_flow may have
+    # narrowed it) — presolve must be safe on the model that flow solved.
+    sched = case.flow("milp-map").schedule
+    config = dataclasses.replace(case.config, presolve=False,
+                                 warm_start=False)
+    scheduler = MapScheduler(sched.graph, case.device, config)
+    scheduler.enumerate()
+    formulation = MappingAwareFormulation(
+        sched.graph, scheduler.cuts, case.device, config,
+        scheduler._horizon())
+    model = formulation.build()
+    raw = model.solve(backend="scipy", time_limit=20.0)
+    pre = model.solve(backend="scipy", time_limit=20.0, presolve=True)
+    if raw.status != pre.status:
+        statuses = {raw.status, pre.status}
+        if statuses == {SolveStatus.OPTIMAL, SolveStatus.FEASIBLE}:
+            # One side hit the 20 s cap holding an incumbent while the
+            # other proved optimality — a budget artifact, not a
+            # presolve bug (and shrinking it would re-pay the cap on
+            # every step).
+            raise SkipOracle(f"time cap split the statuses "
+                             f"(raw={raw.status}, presolved={pre.status})")
+        if SolveStatus.OPTIMAL not in statuses:
+            raise SkipOracle(f"no optimal reference "
+                             f"(raw={raw.status}, presolved={pre.status})")
+        return Divergence(
+            oracle="presolve", kind="mismatch",
+            message="raw and presolved solves disagree on status",
+            details={"raw": raw.status, "presolved": pre.status})
+    if not raw.ok:
+        return None
+    a, b = raw.objective, pre.objective
+    if raw.status == SolveStatus.OPTIMAL and pre.status == SolveStatus.OPTIMAL \
+            and a is not None and b is not None \
+            and abs(a - b) > 1e-4 * max(1.0, abs(a)):
+        return Divergence(
+            oracle="presolve", kind="cost",
+            message="presolve changed the optimal objective",
+            details={"raw": a, "presolved": b})
+    violated = model.check(pre.values)
+    if violated:
+        return Divergence(
+            oracle="presolve", kind="verify",
+            message="expanded presolve solution violates original "
+                    "constraints",
+            details={"violated": violated[:5]})
+    return None
+
+
 def oracle_rtl(case: FuzzCase) -> Divergence | None:
     """Emitted module and self-checking testbench pass the structural
     linter (the offline stand-in for an external Verilog simulator)."""
@@ -348,6 +412,7 @@ ORACLES: dict[str, Callable[[FuzzCase], Divergence | None]] = {
     "narrow": oracle_narrow,
     "schedule": oracle_schedule,
     "backend": oracle_backend,
+    "presolve": oracle_presolve,
     "rtl": oracle_rtl,
     "cache": oracle_cache,
 }

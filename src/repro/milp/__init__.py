@@ -1,15 +1,19 @@
 """MILP modeling layer and solver backends (the CPLEX stand-in)."""
 
 from .model import Constraint, LinExpr, Model, Solution, SolveStatus, Var
+from .presolve import Postsolve, PresolveStats, presolve
 from .writer import parse_solution_listing, write_lp
 
 __all__ = [
     "Constraint",
     "LinExpr",
     "Model",
+    "Postsolve",
+    "PresolveStats",
     "Solution",
     "SolveStatus",
     "Var",
     "parse_solution_listing",
+    "presolve",
     "write_lp",
 ]

@@ -198,6 +198,9 @@ class Solution:
     solve_seconds: float = 0.0
     gap: float | None = None
     message: str = ""
+    #: Backend bookkeeping (node counts, LP counts, presolve reductions);
+    #: read by the bench harness, never by the schedulers.
+    stats: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -311,9 +314,34 @@ class Model:
 
     # -- solving -----------------------------------------------------------
     def solve(self, backend: str = "scipy", time_limit: float | None = None,
-              **options) -> Solution:
-        """Solve with the named backend (``"scipy"`` or ``"bnb"``)."""
+              presolve: bool = False, **options) -> Solution:
+        """Solve with the named backend (``"scipy"`` or ``"bnb"``).
+
+        ``presolve=True`` runs :func:`repro.milp.presolve.presolve`
+        first, solves the reduced model, and reports the solution in the
+        original variable space (the reduction statistics land in
+        ``Solution.stats["presolve"]``). Schedulers drive presolve
+        explicitly for span accounting; this flag is the convenience
+        path used by tests and the fuzz oracle.
+        """
         start = time.perf_counter()
+        if presolve:
+            from .presolve import presolve as run_presolve
+
+            reduced, post = run_presolve(self)
+            if post.status is not None:
+                return Solution(
+                    status=post.status, objective=None,
+                    solve_seconds=time.perf_counter() - start,
+                    message="presolve proved infeasibility",
+                    stats={"presolve": post.stats.to_dict()},
+                )
+            sol = reduced.solve(backend=backend, time_limit=time_limit,
+                                presolve=False, **options)
+            sol = post.expand(sol)
+            sol.stats["presolve"] = post.stats.to_dict()
+            sol.solve_seconds = time.perf_counter() - start
+            return sol
         if backend == "scipy":
             from .scipy_backend import solve_scipy
 

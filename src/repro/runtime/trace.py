@@ -26,8 +26,9 @@ TRACE_SCHEMA = "repro-trace/v1"
 #: The canonical phase names recorded by :func:`repro.experiments.run_flow`
 #: and the schedulers. Consumers should match on these, not re-derive them.
 SPAN_NAMES = (
-    "lint", "narrow", "cut-enum", "milp-build", "solve",
-    "schedule", "map", "verify", "evaluate", "cache-load", "cache-store",
+    "lint", "narrow", "cut-enum", "milp-build", "presolve", "warm-start",
+    "solve", "schedule", "map", "verify", "evaluate", "cache-load",
+    "cache-store",
 )
 
 

@@ -1,0 +1,137 @@
+"""The ``repro bench`` harness: schema, determinism, regression gate."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    BENCH_SCHEMA,
+    MICROBENCHES,
+    BenchResult,
+    compare_to_baseline,
+    run_bench,
+)
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def gsm_result():
+    return run_bench(designs=["GSM"], quick=True)
+
+
+def test_schema_round_trip(gsm_result):
+    data = json.loads(json.dumps(gsm_result.to_dict()))
+    assert data["schema"] == BENCH_SCHEMA
+    assert data["quick"] is True
+    assert data["records"]
+    arms = {(r["name"], r["backend"], r["arm"]) for r in data["records"]}
+    assert ("GSM", "scipy", "optimized") in arms
+    assert ("GSM", "scipy", "cold") in arms
+    for rec in data["records"]:
+        assert rec["ok"], rec
+        assert "wall_seconds" in rec
+
+
+def test_canonical_json_strips_timing(gsm_result):
+    canon = json.loads(gsm_result.canonical_json())
+    assert "elapsed" not in canon
+    for rec in canon["records"]:
+        assert "wall_seconds" not in rec
+        assert "solve_seconds" not in rec
+    for key in canon["summary"]:
+        assert "speedup" not in key and "seconds" not in key
+
+
+def test_canonical_json_is_deterministic(gsm_result):
+    """Two runs differ only in timing — the canonical form is identical."""
+    again = run_bench(designs=["GSM"], quick=True)
+    assert again.canonical_json() == gsm_result.canonical_json()
+
+
+def test_optimized_arm_records_presolve_and_warm_start(gsm_result):
+    opt = [r for r in gsm_result.records
+           if r["arm"] == "optimized" and r["kind"] == "design"]
+    assert opt
+    for rec in opt:
+        assert "presolve" in rec
+        assert rec["presolve"]["vars_after"] <= rec["variables"]
+        assert "warm_start_used" in rec
+
+
+def test_micro_models_build_and_stay_feasible():
+    from repro.milp.model import Model
+
+    for name, builder in MICROBENCHES.items():
+        model, warm = builder()
+        assert isinstance(model, Model)
+        assert model.check(warm) == [], f"{name} warm start infeasible"
+
+
+def _fake_report(wall: float, ok: bool = True) -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "records": [{
+            "kind": "design", "name": "GSM", "method": "milp-map",
+            "backend": "scipy", "arm": "optimized", "ok": ok,
+            "wall_seconds": wall,
+        }],
+    }
+
+
+def test_compare_to_baseline_flags_slowdowns():
+    assert compare_to_baseline(_fake_report(3.5), _fake_report(1.0)) != []
+    assert compare_to_baseline(_fake_report(2.9), _fake_report(1.0)) == []
+    assert compare_to_baseline(_fake_report(1.2), _fake_report(1.0),
+                               max_ratio=1.1) != []
+
+
+def test_compare_to_baseline_skips_noise_and_mismatches():
+    # sub-10ms baselines measure jitter, not the solver
+    assert compare_to_baseline(_fake_report(1.0), _fake_report(0.004)) == []
+    # records missing from the baseline don't gate
+    empty = {"schema": BENCH_SCHEMA, "records": []}
+    assert compare_to_baseline(_fake_report(9.0), empty) == []
+    # failed records don't gate
+    assert compare_to_baseline(_fake_report(9.0, ok=False),
+                               _fake_report(1.0)) == []
+
+
+def test_compare_to_baseline_rejects_wrong_schema():
+    with pytest.raises(ExperimentError):
+        compare_to_baseline(_fake_report(1.0), {"schema": "nope"})
+
+
+def test_unknown_design_raises():
+    with pytest.raises(ExperimentError):
+        run_bench(designs=["NOPE"])
+
+
+def test_summary_speedups_present(gsm_result):
+    summary = gsm_result.summary()
+    assert "scipy_solve_speedup" in summary
+    assert summary["designs_ok"] == ["GSM"]
+    assert summary["failed"] == []
+
+
+def test_cli_smoke(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "bench.json"
+    code = main(["bench", "GSM", "--quick", "--output", str(out),
+                 "--format", "json"])
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert data["schema"] == BENCH_SCHEMA
+    # a second run gated against the first must not regress 3x
+    code = main(["bench", "GSM", "--quick", "--output", "-",
+                 "--baseline", str(out)])
+    assert code == 0
+
+
+def test_result_dataclass_summary_handles_empty():
+    from repro.core.config import SchedulerConfig
+    from repro.tech.device import XC7
+
+    empty = BenchResult(config=SchedulerConfig(), device=XC7)
+    assert empty.summary()["designs_ok"] == []
+    assert "scipy_solve_speedup" not in empty.summary()

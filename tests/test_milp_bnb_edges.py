@@ -20,12 +20,13 @@ class TestBnBEdges:
         m.maximize(obj)
         sol = solve_branch_and_bound(m, max_nodes=2)
         # with a tiny node budget we either get a feasible incumbent or an
-        # explicit error status; never a silently wrong OPTIMAL claim
+        # explicit no-incumbent status; never a silently wrong OPTIMAL claim
         if sol.status == SolveStatus.OPTIMAL:
             full = m.solve("scipy")
             assert sol.objective == pytest.approx(full.objective)
         else:
-            assert sol.status in (SolveStatus.FEASIBLE, SolveStatus.ERROR)
+            assert sol.status in (SolveStatus.FEASIBLE,
+                                  SolveStatus.NO_INCUMBENT)
 
     def test_continuous_only_model(self):
         m = Model()
@@ -51,7 +52,71 @@ class TestBnBEdges:
         m.minimize(1 * x)
         sol = solve_branch_and_bound(m, time_limit=0.0)
         assert sol.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE,
-                              SolveStatus.ERROR)
+                              SolveStatus.NO_INCUMBENT)
+
+    def _knapsack(self):
+        """Small max-knapsack with a known optimum of 13 at x1=x2=x3=1."""
+        m = Model()
+        xs = [m.binary(f"x{i}") for i in range(4)]
+        m.add(3 * xs[0] + 5 * xs[1] + 4 * xs[2] + 6 * xs[3] <= 12, "cap")
+        m.maximize(4 * xs[0] + 5 * xs[1] + 4 * xs[2] + 6 * xs[3])
+        return m, xs
+
+    def test_exhausted_prunable_frontier_is_optimal(self):
+        # Regression for the status bug: a limit-terminated search whose
+        # surviving heap entries are all prunable has in fact proven
+        # optimality. With the known optimum as a warm start and an
+        # integral objective, the root bound is prunable immediately, so
+        # even max_nodes=0 must report OPTIMAL (the old logic said
+        # FEASIBLE whenever the limit fired).
+        m, xs = self._knapsack()
+        warm = {xs[0].index: 1.0, xs[1].index: 1.0, xs[2].index: 1.0,
+                xs[3].index: 0.0}
+        sol = solve_branch_and_bound(m, max_nodes=0, warm_start=warm)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(13.0)
+        assert sol.stats["warm_start"] is True
+
+    def test_infeasible_warm_start_ignored(self):
+        m, xs = self._knapsack()
+        warm = {x.index: 1.0 for x in xs}  # violates the capacity row
+        sol = solve_branch_and_bound(m, warm_start=warm)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(13.0)
+        assert sol.stats["warm_start"] is False
+
+    def test_limit_without_incumbent_is_no_incumbent(self):
+        m, _ = self._knapsack()
+        sol = solve_branch_and_bound(m, max_nodes=0)
+        # No warm start, a fractional root, and a zero node budget: the
+        # dive heuristic may still find an incumbent (FEASIBLE/OPTIMAL),
+        # but a missing incumbent must be NO_INCUMBENT, never ERROR.
+        assert sol.status != SolveStatus.ERROR
+        if sol.objective is None:
+            assert sol.status == SolveStatus.NO_INCUMBENT
+
+    def test_matches_scipy_on_mixed_model(self):
+        m = Model()
+        x = m.integer("x", 0, 7)
+        y = m.binary("y")
+        z = m.continuous("z", 0.0, 2.5)
+        m.add(x + 3 * y + z <= 8, "cap")
+        m.add(x - z >= 1, "link")
+        m.maximize(2 * x + 5 * y + z)
+        ours = solve_branch_and_bound(m)
+        ref = m.solve("scipy")
+        assert ours.status == SolveStatus.OPTIMAL
+        assert ours.objective == pytest.approx(ref.objective)
+        assert "nodes=" in ours.message and "lps=" in ours.message
+
+    def test_branch_hints_are_safe(self):
+        # Hints only steer the dive heuristic; a misleading hint must
+        # never change the final answer.
+        m, xs = self._knapsack()
+        hints = {x.index: 0.0 for x in xs}
+        sol = solve_branch_and_bound(m, branch_hints=hints)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(13.0)
 
 
 class TestLPWriterEdges:

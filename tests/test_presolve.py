@@ -1,0 +1,183 @@
+"""Presolve safety: reductions must never change what the model means.
+
+Three layers of evidence, mirroring docs/performance.md:
+
+* random-model properties — presolve + postsolve agrees with a raw solve
+  on status and objective, reports *every* variable (including fixed
+  ones), and its expanded assignment satisfies the original constraints;
+* structure regressions — the one-hot circularity hazard (a group's
+  defining row must not be dropped under its own invariant) and
+  group-aware big-M tightening;
+* the real formulations — the Table 2 models shrink and still solve to
+  the same optimum.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SchedulerConfig
+from repro.core.mapsched import MapScheduler
+from repro.designs.registry import BENCHMARKS
+from repro.milp.model import LinExpr, Model, SolveStatus
+from repro.milp.presolve import Postsolve, PresolveStats, presolve
+
+
+def _random_model(seed: int, n_vars: int, n_cons: int) -> Model:
+    rng = random.Random(seed)
+    m = Model(f"rand{seed}")
+    xs = []
+    for i in range(n_vars):
+        kind = rng.random()
+        if kind < 0.4:
+            xs.append(m.binary(f"b{i}"))
+        elif kind < 0.8:
+            xs.append(m.integer(f"i{i}", 0, rng.randint(1, 5)))
+        else:
+            xs.append(m.continuous(f"c{i}", 0.0, rng.uniform(1.0, 6.0)))
+    for c in range(n_cons):
+        expr = LinExpr()
+        for x in xs:
+            if rng.random() < 0.7:
+                expr = expr + rng.randint(-3, 3) * x
+        rhs = rng.randint(0, 8)
+        if rng.random() < 0.5:
+            m.add(expr <= rhs)
+        else:
+            m.add(expr >= -rhs)
+    obj = LinExpr()
+    for x in xs:
+        obj = obj + rng.randint(-4, 4) * x
+    m.minimize(obj)
+    return m
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_vars=st.integers(min_value=1, max_value=6),
+    n_cons=st.integers(min_value=1, max_value=7),
+)
+def test_property_presolve_round_trip(seed, n_vars, n_cons):
+    raw = _random_model(seed, n_vars, n_cons).solve("scipy")
+
+    model = _random_model(seed, n_vars, n_cons)
+    reduced, post = presolve(model)
+    assert isinstance(post, Postsolve)
+    assert isinstance(post.stats, PresolveStats)
+    assert reduced.num_vars <= model.num_vars
+    assert reduced.num_constraints <= model.num_constraints
+
+    if post.status is not None:
+        # Presolve proved infeasibility — the raw solve must agree.
+        assert post.status == SolveStatus.INFEASIBLE
+        assert raw.status == SolveStatus.INFEASIBLE
+        return
+    sol = post.expand(reduced.solve("scipy"))
+    assert (raw.status == SolveStatus.INFEASIBLE) == \
+        (sol.status == SolveStatus.INFEASIBLE)
+    if raw.status == SolveStatus.OPTIMAL \
+            and sol.status == SolveStatus.OPTIMAL:
+        assert sol.objective == pytest.approx(raw.objective, abs=1e-5)
+        # Every original variable is reported, fixed ones included.
+        assert set(sol.values) == {v.index for v in model.variables}
+        assert model.check(sol.values) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_property_restrict_maps_into_reduced_space(seed):
+    model = _random_model(seed, 5, 5)
+    reduced, post = presolve(model)
+    if post.status is not None:
+        return
+    full = {v.index: v.lo for v in model.variables}
+    restricted = post.restrict(full)
+    assert set(restricted) <= {v.index for v in reduced.variables}
+
+
+def test_one_hot_defining_row_survives_its_own_invariant():
+    """Regression: ``sum(x) == 1`` looked redundant under the invariant
+    it defines, got dropped, and the solver then violated assignment."""
+    m = Model("one-hot")
+    xs = [m.binary(f"s{t}") for t in range(4)]
+    m.add(sum(xs) == 1)
+    m.minimize(sum((t + 1) * x for t, x in enumerate(xs)))
+    reduced, post = presolve(m)
+    assert post.status is None
+    sol = post.expand(reduced.solve("scipy"))
+    assert sol.status == SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(1.0)
+    assert sum(sol.values[x.index] for x in xs) == pytest.approx(1.0)
+
+
+def test_group_aware_bigm_tightening_fires():
+    """One-hot structure lets presolve shrink a big-M coefficient that a
+    single-row activity bound would consider hopeless."""
+    m = Model("bigm")
+    xs = [m.binary(f"s{t}") for t in range(4)]
+    c = m.binary("c")
+    l = m.continuous("L", lo=0.0, hi=8.0)
+    m.add(sum(xs) == 1)
+    m.add(l - sum(t * x for t, x in enumerate(xs)) + 100.0 * c >= 0.0)
+    m.minimize(l + sum(t * x for t, x in enumerate(xs)) + 0.5 * c)
+    reduced, post = presolve(m)
+    assert post.status is None
+    assert post.stats.coeffs_tightened >= 1
+    sol = post.expand(reduced.solve("scipy"))
+    raw = m.solve("scipy")
+    assert sol.objective == pytest.approx(raw.objective, abs=1e-6)
+
+
+def test_presolve_proves_infeasibility_without_solving():
+    m = Model("infeasible")
+    x = m.binary("x")
+    y = m.binary("y")
+    m.add(x + y >= 3)
+    m.minimize(x + y)
+    reduced, post = presolve(m)
+    assert post.status == SolveStatus.INFEASIBLE
+    sol = m.solve("scipy", presolve=True)
+    assert sol.status == SolveStatus.INFEASIBLE
+    assert "presolve" in sol.message
+
+
+def test_fixed_variables_round_trip_through_expand():
+    m = Model("fix")
+    x = m.integer("x", 3, 3)          # already fixed by its bounds
+    y = m.integer("y", 0, 5)
+    m.add(x + y <= 6)
+    m.minimize(-1 * y)
+    reduced, post = presolve(m)
+    sol = post.expand(reduced.solve("scipy"))
+    assert sol.values[x.index] == pytest.approx(3.0)
+    assert sol.objective == pytest.approx(-3.0)
+
+
+@pytest.mark.parametrize("design", ["GSM", "DR", "CLZ"])
+def test_real_formulation_agrees_and_shrinks(design):
+    """The Table 2 MILPs shrink under presolve and keep their optimum."""
+    from repro.ir.transforms import narrow_graph
+
+    graph, _ = narrow_graph(BENCHMARKS[design].build())
+    config = SchedulerConfig(presolve=False, warm_start=False)
+    scheduler = MapScheduler(graph, config=config)
+    scheduler.enumerate()
+    from repro.core.formulation import MappingAwareFormulation
+
+    formulation = MappingAwareFormulation(
+        graph, scheduler.cuts, scheduler.device, config,
+        scheduler._horizon())
+    model = formulation.build()
+    reduced, post = presolve(model)
+    assert post.status is None
+    stats = post.stats
+    assert stats.cons_after < stats.cons_before
+    assert stats.one_hot_groups > 0
+    raw = model.solve("scipy")
+    sol = post.expand(reduced.solve("scipy"))
+    assert raw.status == SolveStatus.OPTIMAL
+    assert sol.status == SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(raw.objective, abs=1e-5)
+    assert model.check(sol.values) == []

@@ -352,15 +352,35 @@ def test_scipy_round_snap_violation_becomes_error(monkeypatch):
 
 
 def test_mapscheduler_no_incumbent_raises_time_cap_message(monkeypatch):
+    from dataclasses import replace
+
     from repro.milp.model import Solution
 
     monkeypatch.setattr(
         Model, "solve",
         lambda self, **kw: Solution(status=SolveStatus.NO_INCUMBENT,
                                     objective=None))
-    scheduler = MapScheduler(build_fig1(), XC7, FAST)
+    # Without a warm start there is no fallback incumbent to fall back on.
+    scheduler = MapScheduler(build_fig1(), XC7,
+                             replace(FAST, warm_start=False))
     with pytest.raises(SolverError, match="time cap too tight"):
         scheduler.schedule()
+
+
+def test_mapscheduler_no_incumbent_falls_back_to_warm_start(monkeypatch):
+    from repro.milp.model import Solution
+
+    monkeypatch.setattr(
+        Model, "solve",
+        lambda self, **kw: Solution(status=SolveStatus.NO_INCUMBENT,
+                                    objective=None))
+    # With warm starts on, the heuristic schedule stands in for the
+    # missing solver incumbent instead of aborting the run.
+    scheduler = MapScheduler(build_fig1(), XC7, FAST)
+    schedule = scheduler.schedule()
+    assert schedule.ii == FAST.ii
+    fallback = scheduler.tracer.find("warm-start")
+    assert fallback and fallback[-1].meta["used"] is True
 
 
 # ----------------------------------------------------------------------
