@@ -14,6 +14,8 @@ Usage::
     python -m repro list
     python -m repro lint [DESIGN|FILE ...] [--format json|sarif]
                          [--fail-on warning] [--baseline FILE]
+    python -m repro equiv [DESIGN ...] [--stage narrow|cover|pipeline|rtl]
+                          [--method milp-map] [--format json]
     python -m repro fuzz [--seeds N] [--time-budget S] [--oracles a,b]
                          [--jobs N] [--corpus-dir DIR] [--format json]
     python -m repro bench [DESIGN ...] [--quick] [--output FILE]
@@ -38,6 +40,12 @@ registered rule are a configuration error (exit 2). See
 ``--no-narrow`` on the experiment commands disables the dataflow-based
 graph narrowing that otherwise runs before scheduling (see
 ``docs/dataflow.md``).
+
+``equiv`` runs the symbolic translation validator (see
+``docs/equivalence.md``): each flow stage — narrowing, cut cover,
+pipelined replay, emitted Verilog — is miter-checked against the CDFG
+semantics with BMC + k-induction. It exits 1 when any stage is refuted
+(a confirmed counterexample) and prints the diverging input stream.
 
 ``fuzz`` runs the differential fuzzing campaign (see ``docs/fuzzing.md``):
 coverage-directed random CDFGs cross-checked by pluggable oracles, with
@@ -206,6 +214,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="stdout format (default text)")
 
+    p = sub.add_parser("equiv",
+                       parents=[sched, device_parent("xc7"), runtime],
+                       help="prove every flow stage semantics-preserving "
+                            "with the miter/SAT engine "
+                            "(see docs/equivalence.md)")
+    p.add_argument("designs", nargs="*",
+                   help="benchmark subset (default: all nine)")
+    p.add_argument("--method",
+                   choices=["hls-tool", "milp-base", "milp-map", "heur-map"],
+                   default="milp-map",
+                   help="flow whose artifacts are validated "
+                        "(default milp-map)")
+    p.add_argument("--stage", action="append", default=[], metavar="STAGE",
+                   choices=["narrow", "cover", "pipeline", "rtl"],
+                   help="validate only this stage (repeatable; "
+                        "default: all four)")
+    p.add_argument("--frames", type=int, default=None, metavar="N",
+                   help="BMC unrolling depth per miter (default 6)")
+    p.add_argument("--induction-k", type=int, default=None, metavar="K",
+                   help="maximum k-induction depth (default 2)")
+    p.add_argument("--sat-conflicts", type=int, default=None, metavar="N",
+                   help="CDCL conflict budget per goal (default 30000)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (default text)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="also write the full JSON report to FILE")
+
     p = sub.add_parser("fuzz",
                        parents=[sched, device_parent("xc7"), runtime],
                        help="differential fuzzing campaign over random "
@@ -344,6 +379,72 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_equiv(args) -> int:
+    """Validate flow stages symbolically; exit 1 on any refuted stage."""
+    from .analysis.equiv import EQUIV_SCHEMA, EquivBudget, validate_flow
+    from .experiments import run_flow
+    from .runtime import FlowCache
+
+    designs = [d.upper() for d in args.designs] or list(BENCHMARKS)
+    unknown = [d for d in designs if d not in BENCHMARKS]
+    if unknown:
+        print("repro equiv: unknown design(s): " + ", ".join(unknown),
+              file=sys.stderr)
+        return 2
+
+    budget = EquivBudget()
+    if args.frames is not None:
+        budget.max_frames = args.frames
+    if args.induction_k is not None:
+        budget.induction_k = args.induction_k
+    if args.sat_conflicts is not None:
+        budget.sat_conflicts = args.sat_conflicts
+    stages = tuple(args.stage) or None
+    cache = FlowCache(args.cache_dir) if args.cache_dir else None
+
+    reports = []
+    failed = False
+    for name in designs:
+        graph = BENCHMARKS[name].build()
+        flow = run_flow(graph, args.method, device=_device(args),
+                        config=_config(args), design=name, cache=cache)
+        report = validate_flow(graph, flow.schedule, stages=stages,
+                               budget=budget, tracer=flow.trace,
+                               design=name, method=args.method)
+        reports.append(report)
+        failed = failed or not report.ok
+        if args.format != "json":
+            for v in report.stages:
+                mark = {"proved": "ok  ", "bounded": "WARN",
+                        "inequivalent": "FAIL", "unknown": "WARN",
+                        "skipped": "skip", "error": "FAIL"}[v.status]
+                print(f"  {mark} {name:8s} {v.stage:8s} {v.status:12s} "
+                      f"{v.seconds:6.2f}s  {v.detail}")
+                for note in v.notes:
+                    print(f"       {' ' * 8} note: {note}")
+                cex = v.counterexample
+                if cex is not None and cex.stream:
+                    print(f"       {' ' * 8} counterexample frame 0: "
+                          f"{cex.stream[0]}")
+
+    document = {
+        "schema": EQUIV_SCHEMA,
+        "method": args.method,
+        "ok": not failed,
+        "reports": [r.to_dict() for r in reports],
+    }
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.format == "json":
+        print(json.dumps(document, indent=2, sort_keys=True))
+    elif not failed:
+        print(f"repro equiv: all stages hold on "
+              f"{', '.join(r.design for r in reports)}")
+    return 1 if failed else 0
+
+
 def _cmd_fuzz(args) -> int:
     from .fuzz import ORACLES, PROFILES, run_campaign
 
@@ -451,6 +552,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "lint":
         return _cmd_lint(args)
+
+    if args.command == "equiv":
+        return _cmd_equiv(args)
 
     if args.command == "fuzz":
         return _cmd_fuzz(args)

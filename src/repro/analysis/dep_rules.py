@@ -25,6 +25,17 @@ only reported when a *functional witness* exists: a leaf assignment where
 flipping that one bit flips the sampled output bit. A witness is
 irrefutable evidence of unsoundness.
 
+Witnesses are found in two tiers. When the sliced cone is small enough
+(``dep_sat_nodes`` interior nodes, default 1500), the question is decided
+*exactly*: the cone is encoded twice into an and-inverter graph over
+shared leaf variables — the suspect bit pinned 0 on one side, 1 on the
+other — and the SAT solver (:mod:`repro.analysis.equiv.sat`) searches for
+an assignment where the outputs differ. UNSAT proves the reached bit
+functionally inert (the refinement was right); SAT decodes to a concrete
+witness. Larger cones, and SAT calls that exhaust their conflict budget
+(``dep_sat_conflicts``), fall back to random sampling, which can miss
+witnesses but never fabricates one.
+
 Sampling budgets come from the linter options (``dep_nodes``,
 ``dep_bit_samples``, ``dep_trials``); node kinds the blaster does not model
 (e.g. variable shifts) are skipped.
@@ -99,6 +110,59 @@ def _cone(graph, out_id: int, leaves: set[int]) -> tuple[list[int], set[int], bo
     return sorted(interior), reached, True
 
 
+def _sat_witness(bg, order: list[int], reached: set[int], fid: int,
+                 out_id: int, max_conflicts: int):
+    """Decide exactly whether flipping leaf ``fid`` can flip ``out_id``.
+
+    Returns ``("sat", witness)`` with a leaf assignment, ``("unsat",
+    None)`` — a *proof* the bit is functionally inert — or ``("unknown",
+    None)`` when the encoding is unsupported or the budget runs out.
+    """
+    from .equiv.aig import AIG, FALSE, TRUE
+    from .equiv.encode import EncodeUnsupported, const_bits, encode_node
+    from .equiv.sat import solve_lit
+
+    aig = AIG()
+    leaf_vars = {leaf: aig.new_input(f"leaf{leaf}")
+                 for leaf in sorted(reached) if leaf != fid}
+
+    def build(pin: int) -> int | None:
+        values: dict[int, list[int]] = {
+            leaf: [var] for leaf, var in leaf_vars.items()}
+        values[fid] = [TRUE if pin else FALSE]
+        for nid in order:
+            node = bg.node(nid)
+            args = []
+            widths = []
+            for op in node.operands:
+                src = bg.node(op.source)
+                if op.source in values:
+                    args.append(values[op.source])
+                elif src.kind is OpKind.CONST:
+                    args.append(const_bits(aig, src.value or 0, src.width))
+                else:  # outside the slice: cannot influence the cone
+                    args.append([FALSE] * src.width)
+                widths.append(src.width)
+            values[nid] = encode_node(aig, node, args, widths)
+        bit = values.get(out_id)
+        return None if bit is None else bit[0]
+
+    try:
+        lo = build(0)
+        hi = build(1)
+    except EncodeUnsupported:
+        return "unknown", None
+    if lo is None or hi is None:
+        return "unknown", None
+    result = solve_lit(aig, aig.xor_(lo, hi), max_conflicts=max_conflicts)
+    if result.status != "sat":
+        return result.status, None
+    model = result.model or {}
+    witness = {leaf: int(model.get(var_lit >> 1, False))
+               for leaf, var_lit in leaf_vars.items()}
+    return "sat", witness
+
+
 def _evaluate(graph, order: list[int], assignment: dict[int, int],
               out_id: int) -> int:
     """Evaluate the cone under a leaf/const assignment; returns the out bit."""
@@ -129,6 +193,8 @@ def dep_soundness(ctx: AnalysisContext) -> Iterator[Diagnostic]:
     max_nodes = int(opts.get("dep_nodes", 12))
     max_bits = int(opts.get("dep_bit_samples", 4))
     trials = int(opts.get("dep_trials", 4))
+    sat_nodes = int(opts.get("dep_sat_nodes", 1500))
+    sat_conflicts = int(opts.get("dep_sat_conflicts", 20_000))
     if max_nodes <= 0:
         return
 
@@ -181,24 +247,35 @@ def dep_soundness(ctx: AnalysisContext) -> Iterator[Diagnostic]:
             ]
             for fid in suspects:
                 witness = None
-                for _ in range(trials):
-                    base = {leaf: rng.getrandbits(1) for leaf in reached}
-                    lo = dict(base)
-                    lo[fid] = 0
-                    hi = dict(base)
-                    hi[fid] = 1
-                    if _evaluate(bg, order, lo, out_id) != \
-                            _evaluate(bg, order, hi, out_id):
-                        witness = base
-                        break
-                if witness is None:
-                    continue
+                how = "sampled witness"
+                status = "unknown"
+                if len(order) <= sat_nodes:
+                    status, witness = _sat_witness(bg, order, reached, fid,
+                                                   out_id, sat_conflicts)
+                if status == "unsat":
+                    continue  # proved inert: the DEP refinement was right
+                if status == "sat":
+                    how = "exact SAT witness"
+                else:  # cone too big or budget hit: sampling fallback
+                    for _ in range(trials):
+                        base = {leaf: rng.getrandbits(1) for leaf in reached}
+                        lo = dict(base)
+                        lo[fid] = 0
+                        hi = dict(base)
+                        hi[fid] = 1
+                        if _evaluate(bg, order, lo, out_id) != \
+                                _evaluate(bg, order, hi, out_id):
+                            witness = base
+                            break
+                    if witness is None:
+                        continue
                 slot, bidx = leaf_pair[fid]
                 src = node.operands[slot].source
                 yield finding(
                     f"DEP({node.kind.value} {node.nid}[{j}]) omits operand "
                     f"{slot} bit {bidx} (node {src}), but flipping that bit "
-                    "changes the output in the bit-blasted ground truth",
+                    f"changes the output in the bit-blasted ground truth "
+                    f"({how})",
                     node=node.nid,
                     edge=(src, node.nid),
                     hint="fix dep_bits for this kind: an under-approximate "

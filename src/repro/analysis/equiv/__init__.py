@@ -1,0 +1,50 @@
+"""Symbolic translation validation for the flow's lowering stages.
+
+Every stage of the flow — dataflow narrowing, cut covering, pipelined
+replay, Verilog emission — is re-modeled as a *machine* (an iteration-
+indexed transition system over an and-inverter graph) and checked
+against the reference CDFG semantics with a miter: shared symbolic
+inputs, XOR-ed outputs, and a proof that the difference is unsatisfiable
+(structural hashing, random simulation, CDCL SAT, bounded BDDs — in that
+order). Loop-carried state is handled by bounded model checking from the
+declared initial values plus k-induction over a free history window.
+
+Entry points:
+
+* :func:`validate_flow` — prove (or refute) every stage of one flow run;
+* :class:`EquivBudget` — frame counts and solver budgets;
+* ``repro equiv DESIGN`` — the CLI; ``EQ001``–``EQ006`` — the lint rules
+  (opt-in via the ``equiv`` linter option).
+
+See ``docs/equivalence.md`` for the design and its soundness caveats.
+"""
+
+from .aig import AIG
+from .miter import EquivBudget, Goal, Invariant, PairInstance, decode_stream
+from .sat import SatSolver, solve_lit, tseitin
+from .validate import (
+    EQUIV_SCHEMA,
+    STAGES,
+    Counterexample,
+    EquivReport,
+    StageVerdict,
+    validate_flow,
+)
+
+__all__ = [
+    "AIG",
+    "Counterexample",
+    "EQUIV_SCHEMA",
+    "EquivBudget",
+    "EquivReport",
+    "Goal",
+    "Invariant",
+    "PairInstance",
+    "STAGES",
+    "SatSolver",
+    "StageVerdict",
+    "decode_stream",
+    "solve_lit",
+    "tseitin",
+    "validate_flow",
+]

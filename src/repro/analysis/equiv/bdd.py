@@ -1,0 +1,151 @@
+"""A bounded reduced ordered BDD, the fallback prover for narrow cones.
+
+When a miter's SAT query exhausts its conflict budget but the cone's
+input support is small, an explicit canonical representation often
+settles it instantly (XOR-heavy arithmetic miters are the classic case:
+hard for resolution, trivial for BDDs). The package keeps this engine
+deliberately tiny: ITE over a unique table with a computed-table cache,
+a hard node cap (:class:`BddLimitError`), and input order taken from the
+AIG's topological cone order.
+
+``build_lit`` converts an AIG cone bottom-up; the result is FALSE/TRUE
+terminal or a node from which :func:`BDD.any_sat` extracts a satisfying
+assignment for counterexample decoding.
+"""
+
+from __future__ import annotations
+
+from ...errors import ReproError
+from .aig import AIG
+
+__all__ = ["BDD", "BddLimitError", "check_lit_bdd"]
+
+
+class BddLimitError(ReproError):
+    """The BDD grew past its configured node cap."""
+
+
+class BDD:
+    """Reduced ordered BDD over variables 0..n-1 (index = order)."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, num_vars: int, max_nodes: int = 200_000) -> None:
+        self.num_vars = num_vars
+        self.max_nodes = max_nodes
+        # nodes[i] = (var, low, high); terminals use var = num_vars.
+        self.nodes: list[tuple[int, int, int]] = [
+            (num_vars, 0, 0), (num_vars, 1, 1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+
+    def var(self, index: int) -> int:
+        return self._mk(index, self.FALSE, self.TRUE)
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        if len(self.nodes) >= self.max_nodes:
+            raise BddLimitError(
+                f"BDD exceeded {self.max_nodes} nodes")
+        idx = len(self.nodes)
+        self.nodes.append(key)
+        self._unique[key] = idx
+        return idx
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``f ? g : h`` with standard terminal cases and memoization."""
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        found = self._ite_cache.get(key)
+        if found is not None:
+            return found
+        top = min(self.nodes[x][0] for x in (f, g, h))
+        fl, fh = self._cofactors(f, top)
+        gl, gh = self._cofactors(g, top)
+        hl, hh = self._cofactors(h, top)
+        result = self._mk(top, self.ite(fl, gl, hl), self.ite(fh, gh, hh))
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, var: int) -> tuple[int, int]:
+        v, low, high = self.nodes[node]
+        if v != var:
+            return node, node
+        return low, high
+
+    def not_(self, f: int) -> int:
+        return self.ite(f, self.FALSE, self.TRUE)
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, self.TRUE, g)
+
+    def any_sat(self, node: int) -> dict[int, bool] | None:
+        """One satisfying assignment (variable index → value), or None."""
+        if node == self.FALSE:
+            return None
+        out: dict[int, bool] = {}
+        while node != self.TRUE:
+            var, low, high = self.nodes[node]
+            if low != self.FALSE:
+                out[var] = False
+                node = low
+            else:
+                out[var] = True
+                node = high
+        return out
+
+
+def check_lit_bdd(aig: AIG, lit: int,
+                  max_nodes: int = 200_000) -> tuple[str, dict[int, bool] | None]:
+    """Decide satisfiability of an AIG literal by building its BDD.
+
+    Returns ``("sat", model)`` / ``("unsat", None)`` /
+    ``("unknown", None)`` when the node cap is hit. The model maps AIG
+    input variables to booleans.
+    """
+    support = aig.support([lit])
+    order = {var: i for i, var in enumerate(support)}
+    bdd = BDD(len(support), max_nodes=max_nodes)
+    table: dict[int, int] = {0: bdd.FALSE}
+    try:
+        for var in aig.cone_vars([lit]):
+            if var in table:
+                continue
+            pair = aig.fanins[var]
+            if pair is None:
+                table[var] = bdd.var(order[var])
+                continue
+            a, b = pair
+            fa = table[a >> 1]
+            if a & 1:
+                fa = bdd.not_(fa)
+            fb = table[b >> 1]
+            if b & 1:
+                fb = bdd.not_(fb)
+            table[var] = bdd.and_(fa, fb)
+    except BddLimitError:
+        return "unknown", None
+    node = table[lit >> 1]
+    if lit & 1:
+        node = bdd.not_(node)
+    if node == bdd.FALSE:
+        return "unsat", None
+    assignment = bdd.any_sat(node) or {}
+    model = {support[idx]: val for idx, val in assignment.items()}
+    return "sat", model

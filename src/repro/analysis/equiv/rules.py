@@ -1,0 +1,205 @@
+"""Translation-validation lint rules (codes ``EQ001``–``EQ006``).
+
+These wrap :func:`~repro.analysis.equiv.validate.validate_flow` as
+registered analysis rules so equivalence failures flow through the same
+reporting machinery as every other diagnostic (text/JSON/SARIF renderers,
+baselines, severity overrides, CI gates).
+
+Symbolic validation is much more expensive than the other rules (it
+unrolls miters and runs a SAT solver), so the whole family is **opt-in**:
+every rule returns nothing unless the linter option ``equiv`` is truthy.
+Budgets come from the options too (``equiv_frames``, ``equiv_induction_k``,
+``equiv_sat_conflicts``), mirroring the ``repro equiv`` CLI flags.
+
+Rule map:
+
+* ``EQ001`` (cdfg, error) — the dataflow narrowing changed the design's
+  input/output behaviour (confirmed miter counterexample).
+* ``EQ002``/``EQ003``/``EQ004`` (schedule, error) — the cut cover / the
+  pipelined replay / the emitted Verilog diverges from the scheduled
+  graph's functional semantics.
+* ``EQ005`` (schedule, warning) — a stage could not be *proved* within
+  budget (bounded/unknown verdicts, machine errors). Not an error: the
+  design may still be correct, the proof just did not close.
+* ``EQ006`` (schedule, warning) — the emitted Verilog fell outside the
+  structural parser's subset, so the RTL miter could not be built.
+
+One :func:`validate_flow` run covers EQ002–EQ006 for a given schedule;
+the report is memoized per schedule object (weakly, so lint runs do not
+pin schedules in memory).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Iterator
+
+from ..diagnostic import Diagnostic, Severity
+from ..registry import (
+    GATE_ACYCLIC,
+    GATE_SCHEDULED,
+    AnalysisContext,
+    finding,
+    register,
+)
+from .miter import EquivBudget
+from .validate import EquivReport, StageVerdict, validate_flow
+
+__all__ = ["equiv_budget_from_options"]
+
+
+def equiv_budget_from_options(options) -> EquivBudget:
+    """Build an :class:`EquivBudget` from linter options (CLI-compatible)."""
+    budget = EquivBudget()
+    if "equiv_frames" in options:
+        budget.max_frames = int(options["equiv_frames"])
+    if "equiv_induction_k" in options:
+        budget.induction_k = int(options["equiv_induction_k"])
+    if "equiv_sat_conflicts" in options:
+        budget.sat_conflicts = int(options["equiv_sat_conflicts"])
+    return budget
+
+
+# Reports are memoized per artifact *object* so the three error rules and
+# the two warning rules share one symbolic run. Keys are object ids with a
+# weakref guard (schedules are unhashable, and a lint run must not extend
+# any artifact's lifetime); the finalizer evicts entries on collection so
+# a recycled id can never alias a dead artifact's report.
+_GRAPH_REPORTS: dict[int, tuple] = {}
+_SCHED_REPORTS: dict[int, tuple] = {}
+
+
+def _memoized(store: dict, obj, compute) -> EquivReport:
+    key = id(obj)
+    entry = store.get(key)
+    if entry is not None and entry[0]() is obj:
+        return entry[1]
+    report = compute()
+    ref = weakref.ref(obj, lambda _ref, k=key: store.pop(k, None))
+    store[key] = (ref, report)
+    return report
+
+
+def _narrow_report(ctx: AnalysisContext) -> EquivReport:
+    return _memoized(
+        _GRAPH_REPORTS, ctx.graph,
+        lambda: validate_flow(
+            ctx.graph, None, stages=("narrow",),
+            budget=equiv_budget_from_options(ctx.options)))
+
+
+def _schedule_report(ctx: AnalysisContext) -> EquivReport:
+    return _memoized(
+        _SCHED_REPORTS, ctx.schedule,
+        lambda: validate_flow(
+            ctx.schedule.graph, ctx.schedule,
+            stages=("cover", "pipeline", "rtl"),
+            budget=equiv_budget_from_options(ctx.options)))
+
+
+def _cex_message(stage: str, verdict: StageVerdict) -> str:
+    msg = f"{stage} stage is not semantics-preserving: {verdict.detail}"
+    cex = verdict.counterexample
+    if cex is not None and cex.stream:
+        msg += f"; first diverging input frame: {cex.stream[0]}"
+    for note in verdict.notes:
+        msg += f" [{note}]"
+    return msg
+
+
+def _divergence(stage: str, verdict: StageVerdict | None,
+                hint: str) -> Iterator[Diagnostic]:
+    if verdict is not None and verdict.status == "inequivalent":
+        yield finding(_cex_message(stage, verdict), hint=hint)
+
+
+@register("EQ001", "narrow-changes-semantics", "cdfg", Severity.ERROR,
+          "Dataflow narrowing changed the design's input/output behaviour "
+          "(confirmed miter counterexample).", gate=GATE_ACYCLIC)
+def narrow_changes_semantics(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.options.get("equiv"):
+        return
+    verdict = _narrow_report(ctx).verdict("narrow")
+    yield from _divergence(
+        "narrow", verdict,
+        hint="replay the decoded counterexample through the functional "
+             "simulator on both graphs; the narrowing dropped live bits "
+             "or folded a non-constant")
+
+
+@register("EQ002", "cover-changes-semantics", "schedule", Severity.ERROR,
+          "The cut cover's wire semantics diverge from the scheduled "
+          "graph (confirmed miter counterexample).", gate=GATE_SCHEDULED)
+def cover_changes_semantics(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.options.get("equiv"):
+        return
+    yield from _divergence(
+        "cover", _schedule_report(ctx).verdict("cover"),
+        hint="a cut cone evaluates differently from the nodes it covers; "
+             "check cut legality (interior co-timing, input completeness)")
+
+
+@register("EQ003", "pipeline-changes-semantics", "schedule", Severity.ERROR,
+          "The pipelined replay (staged registers at the scheduled "
+          "distances) diverges from the graph semantics.",
+          gate=GATE_SCHEDULED)
+def pipeline_changes_semantics(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.options.get("equiv"):
+        return
+    yield from _divergence(
+        "pipeline", _schedule_report(ctx).verdict("pipeline"),
+        hint="staging depths disagree with the schedule's cycle/distance "
+             "arithmetic, or the divergence sits in the pipeline fill "
+             "window (see the attached note)")
+
+
+@register("EQ004", "rtl-changes-semantics", "schedule", Severity.ERROR,
+          "The emitted Verilog, re-parsed and interpreted under "
+          "Verilog-2001 width rules, diverges from the graph semantics.",
+          gate=GATE_SCHEDULED)
+def rtl_changes_semantics(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.options.get("equiv"):
+        return
+    yield from _divergence(
+        "rtl", _schedule_report(ctx).verdict("rtl"),
+        hint="compare the emitter's expression against eval_node for the "
+             "named wire; Verilog sizing/shift rules differ from the IR's")
+
+
+@register("EQ005", "equivalence-unproved", "schedule", Severity.WARNING,
+          "A stage equivalence proof did not close within budget "
+          "(bounded/unknown verdict or a machine-model error).",
+          gate=GATE_SCHEDULED)
+def equivalence_unproved(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.options.get("equiv"):
+        return
+    for verdict in _schedule_report(ctx).stages:
+        if verdict.status in ("bounded", "unknown"):
+            yield finding(
+                f"{verdict.stage} stage unproved: {verdict.detail}",
+                hint="raise equiv_frames / equiv_induction_k / "
+                     "equiv_sat_conflicts, or inspect the notes via "
+                     "`repro equiv --format json`")
+        elif verdict.status == "error" \
+                and not verdict.detail.startswith("rtl-parse"):
+            yield finding(
+                f"{verdict.stage} stage could not be modeled: "
+                f"{verdict.detail}",
+                hint="the machine model rejected the artifact; this is a "
+                     "modeling gap, not a proof of equivalence")
+
+
+@register("EQ006", "rtl-outside-parser-subset", "schedule", Severity.WARNING,
+          "The emitted Verilog fell outside the structural parser's "
+          "subset, so the RTL miter could not be built.",
+          gate=GATE_SCHEDULED)
+def rtl_outside_parser_subset(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.options.get("equiv"):
+        return
+    verdict = _schedule_report(ctx).verdict("rtl")
+    if verdict is not None and verdict.status == "error" \
+            and verdict.detail.startswith("rtl-parse"):
+        yield finding(
+            f"emitted RTL not parseable: {verdict.detail}",
+            hint="extend repro.rtl.parse alongside any emitter change; "
+                 "an unparseable module is unvalidatable")

@@ -1,0 +1,537 @@
+"""Stage validators: each flow stage proven against its predecessor.
+
+Four miters chain the flow's artifacts back to the original CDFG:
+
+``narrow``
+    original graph vs :func:`~repro.ir.transforms.narrow_graph` output,
+    with the narrowing's own facts (high-bits-zero, proven constants)
+    as candidate invariants that the miter *re-proves* inductively.
+``cover``
+    narrowed graph vs the cut cover (each LUT root recomputed from its
+    cone over boundary wires, zero-filled exactly like the emitter).
+``pipeline``
+    narrowed graph vs the II=1 register-chain unrolling of the schedule.
+``rtl``
+    narrowed graph vs the *emitted Verilog text*, re-parsed and
+    re-evaluated under Verilog sizing rules (:mod:`.netlist`).
+
+Verdict policy — the engine never cries wolf:
+
+* ``proved``: BMC base case clean and k-induction closed (or the pair
+  is stateless, where one frame is exhaustive over all iterations).
+* ``bounded``: base case clean for ``max_frames`` iterations, induction
+  did not close within the budget.
+* ``inequivalent``: only for a BMC counterexample *confirmed* by
+  independent re-evaluation — replayed through the functional simulator
+  when the design is memory-free, re-evaluated inside the AIG under the
+  model otherwise. Induction-step counterexamples are never reported
+  (they may start from unreachable state).
+* ``unknown``: budget exhausted, a counterexample failed confirmation,
+  or effect pairing was incomplete.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ...ir.graph import CDFG
+from ...ir.semantics import mask
+from ...ir.transforms import narrow_graph
+from ...ir.types import OpKind
+from ...rtl.parse import RtlParseError, parse_module
+from ...rtl.verilog import emit_verilog
+from ...scheduling.schedule import Schedule
+from ...sim.functional import FunctionalSimulator
+from .encode import bits_to_int
+from .machines import CoverMachine, GraphMachine, MachineError, PipelineMachine
+from .miter import EquivBudget, Goal, Invariant, PairInstance, decode_stream
+from .netlist import RtlMachine
+
+__all__ = ["EQUIV_SCHEMA", "STAGES", "Counterexample", "StageVerdict",
+           "EquivReport", "validate_flow", "narrow_invariants"]
+
+EQUIV_SCHEMA = "repro-equiv/v1"
+
+#: Stage names in chain order.
+STAGES = ("narrow", "cover", "pipeline", "rtl")
+
+
+@dataclass
+class Counterexample:
+    goal: str
+    kind: str
+    frame: int
+    name: str | None
+    stream: list[dict[str, int]]
+    a_value: int | None
+    b_value: int | None
+    confirmed: str | None  # "replay" | "abstract" | None
+
+    def to_dict(self) -> dict:
+        return {
+            "goal": self.goal, "kind": self.kind, "frame": self.frame,
+            "name": self.name, "stream": self.stream,
+            "a_value": self.a_value, "b_value": self.b_value,
+            "confirmed": self.confirmed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Counterexample":
+        return cls(goal=data["goal"], kind=data["kind"],
+                   frame=int(data["frame"]), name=data.get("name"),
+                   stream=[{k: int(v) for k, v in frame.items()}
+                           for frame in data.get("stream", [])],
+                   a_value=data.get("a_value"), b_value=data.get("b_value"),
+                   confirmed=data.get("confirmed"))
+
+
+@dataclass
+class StageVerdict:
+    stage: str
+    status: str  # proved | bounded | inequivalent | unknown | skipped | error
+    detail: str = ""
+    frames: int = 0
+    induction_k: int | None = None
+    goals: int = 0
+    methods: dict[str, int] = field(default_factory=dict)
+    conflicts: int = 0
+    aig_nodes: int = 0
+    seconds: float = 0.0
+    notes: list[str] = field(default_factory=list)
+    counterexample: Counterexample | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "stage": self.stage, "status": self.status, "detail": self.detail,
+            "frames": self.frames, "induction_k": self.induction_k,
+            "goals": self.goals, "methods": self.methods,
+            "conflicts": self.conflicts, "aig_nodes": self.aig_nodes,
+            "seconds": round(self.seconds, 4), "notes": self.notes,
+        }
+        if self.counterexample is not None:
+            out["counterexample"] = self.counterexample.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StageVerdict":
+        cex = data.get("counterexample")
+        return cls(
+            stage=data["stage"], status=data["status"],
+            detail=data.get("detail", ""), frames=int(data.get("frames", 0)),
+            induction_k=data.get("induction_k"),
+            goals=int(data.get("goals", 0)),
+            methods={k: int(v) for k, v in data.get("methods", {}).items()},
+            conflicts=int(data.get("conflicts", 0)),
+            aig_nodes=int(data.get("aig_nodes", 0)),
+            seconds=float(data.get("seconds", 0.0)),
+            notes=list(data.get("notes", [])),
+            counterexample=(Counterexample.from_dict(cex)
+                            if cex is not None else None),
+        )
+
+
+@dataclass
+class EquivReport:
+    design: str
+    method: str
+    stages: list[StageVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(v.status not in ("inequivalent", "error")
+                   for v in self.stages)
+
+    def verdict(self, stage: str) -> StageVerdict | None:
+        for v in self.stages:
+            if v.stage == stage:
+                return v
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": EQUIV_SCHEMA,
+            "design": self.design,
+            "method": self.method,
+            "ok": self.ok,
+            "stages": [v.to_dict() for v in self.stages],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "EquivReport":
+        if data.get("schema") != EQUIV_SCHEMA:
+            raise ValueError(f"not a {EQUIV_SCHEMA} document")
+        return cls(design=data.get("design", ""),
+                   method=data.get("method", ""),
+                   stages=[StageVerdict.from_dict(v)
+                           for v in data.get("stages", [])])
+
+
+# ----------------------------------------------------------------------
+# Invariants and pairing for the narrow stage.
+# ----------------------------------------------------------------------
+
+def narrow_invariants(original: CDFG, narrowed: CDFG,
+                      machine_b: GraphMachine) -> list[Invariant]:
+    """Candidate invariants for carried state, from the narrowing itself.
+
+    Only carried values need constraining (free history is what the
+    induction step over-approximates). Two sources: what the narrowed
+    graph's carried state claims about the nodes it tracks, and what the
+    dataflow fixpoint proved about the *original* graph's carried
+    sources (narrowing may eliminate a carried dependence entirely, yet
+    the reference side still reads it — e.g. a recurrence proven
+    constant). An invariant is only usable when the declared initial
+    value satisfies it (carried reads before iteration 0 yield the
+    initial); and each one is re-proved as a goal, so a wrong fact fails
+    the miter rather than corrupting the proof.
+    """
+    from ..dataflow import cached_analyze  # lazy: avoids an import cycle
+
+    best: dict[tuple[int, str], int] = {}
+
+    def offer(a_node: int, kind: str, param: int) -> None:
+        key = (a_node, kind)
+        if kind == "zext":
+            best[key] = min(best.get(key, param), param)
+        else:
+            best.setdefault(key, param)
+
+    for elem in machine_b.state:
+        if elem.a_node is None:
+            continue
+        new_node = narrowed.node(elem.key)
+        wa = original.node(elem.a_node).width
+        if new_node.kind is OpKind.CONST:
+            offer(elem.a_node, "const", int(new_node.value))
+        elif elem.width < wa:
+            offer(elem.a_node, "zext", elem.width)
+
+    df = cached_analyze(original)
+    carried = {op.source for n in original for op in n.operands
+               if op.distance > 0}
+    for nid in sorted(carried):
+        node = original.node(nid)
+        init = mask(int(node.attrs.get("initial", 0)), node.width)
+        value = df.constant_value(nid)
+        if value is not None and init == value:
+            offer(nid, "const", value)
+            continue
+        dead = df.dead_high_bits(nid)
+        if 0 < dead < node.width:
+            live = node.width - dead
+            if init < (1 << live):
+                offer(nid, "zext", live)
+
+    return [Invariant(a_node=a, kind=k, param=p)
+            for (a, k), p in sorted(best.items())]
+
+
+def _invert_mapping(mapping: Mapping[int, int]) -> dict[int, int]:
+    inverse: dict[int, int] = {}
+    for old, new in sorted(mapping.items()):
+        inverse.setdefault(new, old)
+    return inverse
+
+
+def _graphs_identical(a: CDFG, b: CDFG) -> bool:
+    """Structural identity (same ids, kinds, widths, edges, attrs)."""
+    ids_a = list(a.node_ids)
+    if ids_a != list(b.node_ids):
+        return False
+    for nid in ids_a:
+        na, nb = a.node(nid), b.node(nid)
+        if (na.kind, na.width, na.name, na.value, na.amount,
+                dict(na.attrs)) != (nb.kind, nb.width, nb.name, nb.value,
+                                    nb.amount, dict(nb.attrs)):
+            return False
+        if [(op.source, op.distance) for op in na.operands] != \
+                [(op.source, op.distance) for op in nb.operands]:
+            return False
+    return True
+
+
+def _is_memory_free(graph: CDFG) -> bool:
+    return not any(n.kind in (OpKind.LOAD, OpKind.STORE, OpKind.DIV,
+                              OpKind.MOD) for n in graph)
+
+
+# ----------------------------------------------------------------------
+# One stage = BMC base + induction ladder.
+# ----------------------------------------------------------------------
+
+def _confirm(pi: PairInstance, goal: Goal, ref_graph: CDFG,
+             verdict: StageVerdict) -> Counterexample:
+    """Independently confirm a BMC model; downgrades to unknown inside
+    the caller when confirmation fails."""
+    model = goal.model or {}
+    stream = decode_stream(pi, model)
+    packed = {v: (1 if model.get(v, False) else 0) for v in pi.aig.inputs}
+    a_val = b_val = None
+    if goal.a_bits is not None:
+        a_val = bits_to_int([w & 1 for w in
+                             pi.aig.eval_many(packed, goal.a_bits)])
+    if goal.b_bits is not None:
+        b_val = bits_to_int([w & 1 for w in
+                             pi.aig.eval_many(packed, goal.b_bits)])
+    cex = Counterexample(goal=goal.label, kind=goal.kind, frame=goal.frame,
+                         name=goal.name, stream=stream, a_value=a_val,
+                         b_value=b_val, confirmed=None)
+    if a_val is None or b_val is None or a_val == b_val:
+        verdict.notes.append(
+            f"model for {goal.label} failed abstract re-evaluation")
+        return cex
+    cex.confirmed = "abstract"
+    if (goal.kind == "output" and goal.name is not None
+            and _is_memory_free(ref_graph)):
+        sim = FunctionalSimulator(ref_graph)
+        try:
+            outs = [sim.step(frame) for frame in stream[:goal.frame + 1]]
+            sim_val = outs[goal.frame][goal.name]
+        except Exception as exc:  # replay must never crash the report
+            verdict.notes.append(f"functional replay failed: {exc}")
+            return cex
+        if sim_val == a_val:
+            cex.confirmed = "replay"
+        else:
+            cex.confirmed = None
+            verdict.notes.append(
+                f"replay mismatch: functional {goal.name}={sim_val}, "
+                f"symbolic reference {a_val} — encoder bug, not a stage bug")
+    return cex
+
+
+def _steady_state_note(stage: str, ref_graph: CDFG, make_machines,
+                       invariants: list[Invariant], budget: EquivBudget,
+                       verdict: StageVerdict, fill: int, frames: int,
+                       tracer=None) -> None:
+    """After a fill-window counterexample, separately check the frames
+    *past* the fill window. A clean result pins the divergence to the
+    startup transient (a known, documented class — the hardware has no
+    register to materialise a carried initial); a dirty one means the
+    stage is broken in steady state too, and the oracle must not excuse
+    it."""
+    steady_frames = max(frames, fill + 1)
+    try:
+        ma, mb = make_machines()
+        steady = PairInstance(ref_graph, ma, mb, mode="bmc",
+                              frames_a=steady_frames, budget=budget,
+                              invariants=invariants, compare_from=fill)
+        steady.build()
+        out = steady.discharge(tracer=tracer, stage=stage)
+    except MachineError as exc:
+        verdict.notes.append(f"steady-state re-check failed to build: {exc}")
+        return
+    verdict.goals += len(out.goals)
+    verdict.conflicts += out.stats["conflicts"]
+    for m, c in out.stats["methods"].items():
+        verdict.methods[m] = verdict.methods.get(m, 0) + c
+    if out.status == "equal":
+        verdict.notes.append(
+            f"steady state checks out: iterations {fill}.."
+            f"{steady_frames - 1} proved equal once the fill transient "
+            "has drained")
+    elif out.status == "diverges" and out.failed is not None:
+        verdict.notes.append(
+            f"steady state also diverges ({out.failed.label}): this is "
+            "not just a fill transient")
+    else:
+        verdict.notes.append("steady-state re-check exhausted its budget")
+
+
+def _check_stage(stage: str, ref_graph: CDFG, make_machines,
+                 invariants: list[Invariant], budget: EquivBudget,
+                 tracer=None) -> StageVerdict:
+    """Run the BMC + induction ladder for one stage."""
+    verdict = StageVerdict(stage=stage, status="unknown")
+    t0 = time.perf_counter()
+    try:
+        ma, mb = make_machines()
+        # The BMC base must cover every cold frame: induction models the
+        # warm-up gate as saturated, so an initialization bug is only
+        # catchable while warm_sr is still filling.
+        frames = max(budget.max_frames, budget.induction_k,
+                     getattr(mb, "warm_frames", 0))
+        pi = PairInstance(ref_graph, ma, mb, mode="bmc", frames_a=frames,
+                          budget=budget, invariants=invariants)
+        pi.build()
+        outcome = pi.discharge(tracer=tracer, stage=stage)
+        verdict.frames = frames
+        verdict.goals = len(outcome.goals)
+        verdict.methods = dict(outcome.stats["methods"])
+        verdict.conflicts = outcome.stats["conflicts"]
+        verdict.aig_nodes = outcome.aig_nodes
+        verdict.notes.extend(outcome.notes)
+        if outcome.status == "diverges":
+            assert outcome.failed is not None
+            cex = _confirm(pi, outcome.failed, ref_graph, verdict)
+            verdict.counterexample = cex
+            # The fill window: frames that can still observe declared
+            # initials. A state element holding ``a_node``'s iteration
+            # ``u - a_shift`` and read up to ``depth`` taps back exposes
+            # an initial whenever ``u - a_shift - tap < 0`` — on either
+            # side of the miter (staged registers on B, carried-dependence
+            # history on A; a gap-0 carried edge has no register at all to
+            # hold its initial, so the A-side depth is what detects it).
+            fill = max((e.a_shift + e.depth
+                        for e in (*ma.state, *mb.state)), default=0)
+            if cex.frame < fill:
+                verdict.notes.append(
+                    f"divergence at iteration {cex.frame} lies in the "
+                    f"pipeline fill window (first {fill} iterations): "
+                    "staged registers and carried-dependence initials are "
+                    "not yet flushed, so early outputs differ from the "
+                    "functional semantics")
+                _steady_state_note(stage, ref_graph, make_machines,
+                                   invariants, budget, verdict, fill,
+                                   frames, tracer)
+            if cex.confirmed is not None:
+                verdict.status = "inequivalent"
+                verdict.detail = (f"{outcome.failed.label} diverges "
+                                  f"({cex.a_value} vs {cex.b_value}, "
+                                  f"{cex.confirmed}-confirmed)")
+            else:
+                verdict.status = "unknown"
+                verdict.detail = "counterexample failed confirmation"
+            return verdict
+        base_clean = outcome.status == "equal"
+        if not base_clean:
+            verdict.status = "unknown"
+            verdict.detail = "base case exhausted its budget"
+            return verdict
+        # Stateless pairs: one frame is every frame (up to input renaming),
+        # so the clean base case is already a complete proof.
+        ma2, mb2 = make_machines()
+        if not ma2.state and not mb2.state and pi.pairing_complete:
+            verdict.status = "proved"
+            verdict.detail = "stateless pair; base case is exhaustive"
+            return verdict
+        for k in range(1, budget.induction_k + 1):
+            ma2, mb2 = make_machines()
+            step = PairInstance(ref_graph, ma2, mb2, mode="induction",
+                                frames_a=k, budget=budget,
+                                invariants=invariants)
+            step.build()
+            step_out = step.discharge(tracer=tracer, stage=stage)
+            verdict.goals += len(step_out.goals)
+            verdict.conflicts += step_out.stats["conflicts"]
+            for m, c in step_out.stats["methods"].items():
+                verdict.methods[m] = verdict.methods.get(m, 0) + c
+            if step_out.status == "equal" and step.pairing_complete:
+                verdict.status = "proved"
+                verdict.induction_k = k
+                verdict.detail = f"{k}-induction closed"
+                return verdict
+        verdict.status = "bounded"
+        verdict.detail = (f"equivalent for {frames} iterations; induction "
+                          f"open at k<={budget.induction_k}")
+        return verdict
+    except RtlParseError as exc:
+        verdict.status = "error"
+        verdict.detail = f"rtl-parse: {exc}"
+        return verdict
+    except MachineError as exc:
+        verdict.status = "error"
+        verdict.detail = str(exc)
+        return verdict
+    finally:
+        verdict.seconds = time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# The flow-level entry point.
+# ----------------------------------------------------------------------
+
+def validate_flow(graph: CDFG, schedule: Schedule | None, *,
+                  stages: tuple[str, ...] | list[str] | None = None,
+                  budget: EquivBudget | None = None,
+                  tracer=None, design: str = "",
+                  method: str = "") -> EquivReport:
+    """Validate every requested stage of one flow run.
+
+    ``graph`` is the original (pre-narrowing) CDFG; ``schedule`` the flow
+    result (may be None to validate narrowing alone). Stage artifacts
+    are rebuilt deterministically where the flow does not hand them over
+    (the narrowing is recomputed and structurally compared against
+    ``schedule.graph`` so the chain of miters actually composes).
+    """
+    budget = budget or EquivBudget()
+    wanted = tuple(stages) if stages else STAGES
+    for s in wanted:
+        if s not in STAGES:
+            raise ValueError(f"unknown stage {s!r}; expected one of {STAGES}")
+    report = EquivReport(design=design or graph.name,
+                         method=method or (schedule.method if schedule
+                                           else ""))
+
+    narrowed: CDFG | None = None
+    mapping: dict[int, int] = {}
+    sched_is_narrowed = False
+    if schedule is not None and schedule.graph is graph:
+        narrowed, mapping = graph, {n.nid: n.nid for n in graph}
+        sched_is_narrowed = True
+    else:
+        narrowed, mapping = narrow_graph(graph)
+        if schedule is not None:
+            # The chain composes when the scheduled graph is (structurally)
+            # either endpoint of the narrow proof: the recomputed narrowing
+            # or the original graph itself (no-narrow flows, fallbacks).
+            sched_is_narrowed = (_graphs_identical(narrowed, schedule.graph)
+                                 or _graphs_identical(graph, schedule.graph))
+
+    for stage in wanted:
+        if stage == "narrow":
+            inverse = _invert_mapping(mapping)
+
+            def make_narrow():
+                ma = GraphMachine(graph)
+                mb = GraphMachine(narrowed, pair_map=inverse)
+                return ma, mb
+
+            _, probe = make_narrow()
+            invs = narrow_invariants(graph, narrowed, probe)
+            report.stages.append(_check_stage(
+                "narrow", graph, make_narrow, invs, budget, tracer))
+            continue
+
+        if schedule is None:
+            report.stages.append(StageVerdict(
+                stage=stage, status="skipped", detail="no schedule"))
+            continue
+        if not sched_is_narrowed:
+            report.stages.append(StageVerdict(
+                stage=stage, status="skipped",
+                detail="schedule graph does not match recomputed "
+                       "narrowing; cannot chain the proof"))
+            continue
+
+        ref = schedule.graph
+
+        if stage == "cover":
+            report.stages.append(_check_stage(
+                "cover", ref,
+                lambda: (GraphMachine(ref), CoverMachine(schedule)),
+                [], budget, tracer))
+        elif stage == "pipeline":
+            report.stages.append(_check_stage(
+                "pipeline", ref,
+                lambda: (GraphMachine(ref), PipelineMachine(schedule)),
+                [], budget, tracer))
+        elif stage == "rtl":
+            try:
+                module = parse_module(emit_verilog(schedule))
+            except RtlParseError as exc:
+                report.stages.append(StageVerdict(
+                    stage="rtl", status="error",
+                    detail=f"rtl-parse: {exc}"))
+                continue
+            report.stages.append(_check_stage(
+                "rtl", ref,
+                lambda: (GraphMachine(ref), RtlMachine(module, schedule)),
+                [], budget, tracer))
+    return report

@@ -9,6 +9,11 @@ solver microbenches, and writes ``BENCH_milp.json`` (schema
   ``--no-warm-start`` ablate one feature at a time);
 * ``cold`` — both features forced off, the pre-optimization behavior.
 
+A third record kind, ``equiv`` (single arm ``validate``), times the
+symbolic translation-validation chain (``repro.analysis.equiv``) over
+:data:`EQUIV_DESIGNS`, so the miter/SAT hot path rides the same
+baseline regression gate as the solvers.
+
 The summary reports geometric-mean speedups of cold over optimized —
 ``scipy_solve_speedup`` over the backend solve spans and
 ``bnb_wall_speedup`` over scheduler wall time — which is how the claims
@@ -59,12 +64,18 @@ BNB_DESIGNS = ("GSM", "DR", "CLZ")
 #: The ``--quick`` subset (CI perf-smoke): the three fastest designs.
 QUICK_DESIGNS = ("GSM", "DR", "CLZ")
 
+#: Designs the symbolic-equivalence arm proves end to end (small enough
+#: to discharge in seconds); its wall time tracks the miter/SAT hot path
+#: the same way the solver arms track the MILP hot path.
+EQUIV_DESIGNS = ("CLZ", "XORR", "GFMUL", "DR")
+
 #: Timing fields stripped from the canonical (byte-stable) JSON form.
 _TIMING_KEYS = frozenset({
     "wall_seconds", "solve_seconds", "presolve_seconds",
     "warm_start_seconds", "build_seconds", "elapsed", "jobs",
     "scipy_solve_speedup", "bnb_wall_speedup", "micro_wall_speedup",
     "scipy_solve_reduction_pct", "bnb_wall_reduction_pct",
+    "stage_seconds", "equiv_wall_seconds",
 })
 
 
@@ -270,6 +281,46 @@ def _run_micro_task(task: _BenchTask) -> dict[str, Any]:
     return record
 
 
+def _run_equiv_task(task: _BenchTask) -> dict[str, Any]:
+    from ..analysis.equiv import validate_flow
+
+    original = BENCHMARKS[task.name].build()
+    graph = original
+    if task.config.narrow:
+        graph, _ = narrow_graph(original)
+    scheduler = MapScheduler(graph, task.device, task.config)
+    record: dict[str, Any] = {
+        "kind": task.kind, "name": task.name, "method": task.method,
+        "backend": task.backend, "arm": task.arm,
+    }
+    try:
+        schedule = scheduler.schedule()
+    except ReproError as exc:
+        record.update(ok=False, error=type(exc).__name__, wall_seconds=0.0)
+        return record
+    # Only the validation is timed: the schedule itself is the design
+    # arms' job, and validate_flow recomputes the narrowing internally
+    # so the full narrow -> cover -> pipeline -> rtl chain is proved.
+    t0 = time.perf_counter()
+    report = validate_flow(original, schedule, design=task.name,
+                           method=task.method)
+    record.update(
+        ok=report.ok,
+        optimal=report.ok,
+        wall_seconds=time.perf_counter() - t0,
+        stages={v.stage: v.status for v in report.stages},
+        stage_seconds={v.stage: round(v.seconds, 4)
+                       for v in report.stages},
+        goals=sum(v.goals for v in report.stages),
+        conflicts=sum(v.conflicts for v in report.stages),
+    )
+    if not report.ok:
+        bad = [v.stage for v in report.stages
+               if v.status in ("inequivalent", "error")]
+        record["error"] = "equiv:" + ",".join(bad)
+    return record
+
+
 _WARMED = False
 
 
@@ -296,6 +347,8 @@ def _run_bench_task(task: _BenchTask) -> dict[str, Any]:
     _warmup()
     if task.kind == "micro":
         return _run_micro_task(task)
+    if task.kind == "equiv":
+        return _run_equiv_task(task)
     return _run_design_task(task)
 
 
@@ -364,6 +417,12 @@ class BenchResult:
                 100.0 * (1.0 - 1.0 / bnb_speed), 1)
         if micro_speed is not None:
             out["micro_wall_speedup"] = round(micro_speed, 3)
+        equiv_recs = [r for r in self.records if r["kind"] == "equiv"]
+        if equiv_recs:
+            out["equiv_proved"] = sorted(r["name"] for r in equiv_recs
+                                         if r.get("ok"))
+            out["equiv_wall_seconds"] = round(
+                sum(r.get("wall_seconds", 0.0) for r in equiv_recs), 3)
         return out
 
     # -- serialization -------------------------------------------------
@@ -438,6 +497,13 @@ def run_bench(designs: list[str] | None = None, device: Device = XC7,
         for arm in ("optimized", "cold"):
             tasks.append(_BenchTask("micro", name, "micro", "bnb", arm,
                                     device, config))
+    equiv_names = [n for n in names if n in EQUIV_DESIGNS]
+    if quick:
+        equiv_names = equiv_names[:2]
+    for name in equiv_names:
+        tasks.append(_BenchTask("equiv", name, "milp-map", "miter",
+                                "validate", device,
+                                replace(config, backend="scipy")))
 
     t0 = time.perf_counter()
     records = run_parallel(
@@ -516,6 +582,9 @@ def format_bench(result: BenchResult) -> str:
                 "micro_wall_speedup"):
         if key in summary:
             lines.append(f"{key}: {summary[key]:.2f}x")
+    if "equiv_wall_seconds" in summary:
+        lines.append(f"equiv_wall_seconds: {summary['equiv_wall_seconds']:.2f}s"
+                     f" ({len(summary.get('equiv_proved', []))} proved)")
     if summary.get("failed"):
         lines.append("failed: " + ", ".join(summary["failed"]))
     return "\n".join(lines)

@@ -70,6 +70,10 @@ class FlowResult:
         ``"narrowed"`` when the returned schedule was produced on the
         dataflow-narrowed graph, ``"original"`` otherwise (including the
         retry path after a narrowed-graph failure).
+    equiv:
+        The translation-validation report
+        (:class:`~repro.analysis.equiv.EquivReport`) when the flow was
+        run with ``validate=``; ``None`` otherwise.
     """
 
     schedule: Schedule
@@ -78,6 +82,7 @@ class FlowResult:
     cached: bool = False
     fingerprint: str | None = None
     source_graph: str = "original"
+    equiv: "object | None" = None
 
 
 def run_flow(graph: CDFG, method: str, device: Device = XC7,
@@ -85,7 +90,9 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
              design: str | None = None, lint: bool = True,
              narrow: bool | None = None,
              cache: FlowCache | None = None,
-             tracer: Tracer | None = None) -> FlowResult:
+             tracer: Tracer | None = None,
+             validate: "bool | tuple[str, ...] | list[str] | None" = None
+             ) -> FlowResult:
     """Run one Table 1 flow on ``graph`` and evaluate the hardware.
 
     Unless ``lint=False``, the design is first checked by the static
@@ -111,6 +118,13 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
     ``cache`` short-circuits everything: when the fingerprint of
     (``graph``, ``method``, ``device``, ``config``) has a stored result,
     it is returned without scheduling or solving anything.
+
+    ``validate`` opts into symbolic translation validation
+    (:func:`repro.analysis.equiv.validate_flow`): ``True`` proves every
+    stage, a stage tuple (e.g. ``("narrow", "rtl")``) a subset. The
+    report rides on ``FlowResult.equiv`` under an ``equiv`` tracer span;
+    with a ``cache``, verdicts are stored next to the flow result under
+    the same fingerprint, so warm reruns re-prove nothing.
     """
     config = config or SchedulerConfig()
     if method not in ALL_METHODS:
@@ -127,6 +141,9 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
         if hit is not None:
             tracer.absorb(hit.trace.spans, cached=True)
             hit.trace = tracer
+            if validate:
+                _attach_validation(hit, graph, validate, cache, tracer,
+                                   design, method)
             return hit
 
     if lint:
@@ -171,7 +188,34 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
         with tracer.span("cache-store", fingerprint=fingerprint):
             cache.store(fingerprint, result, design=design or graph.name,
                         method=method)
+    if validate:
+        _attach_validation(result, graph, validate, cache, tracer,
+                           design, method)
     return result
+
+
+def _attach_validation(result: FlowResult, graph: CDFG, validate,
+                       cache: FlowCache | None, tracer: Tracer,
+                       design: str | None, method: str) -> None:
+    """Prove (or load proven) stage equivalences onto ``result.equiv``."""
+    from ..analysis.equiv import STAGES, validate_flow
+
+    stages = STAGES if validate is True else tuple(validate)
+    fingerprint = result.fingerprint
+    if cache is not None and fingerprint is not None:
+        hit = cache.load_equiv(fingerprint, stages)
+        if hit is not None:
+            result.equiv = hit
+            return
+    with tracer.span("equiv", stages=",".join(stages)) as span:
+        report = validate_flow(graph, result.schedule, stages=stages,
+                               tracer=tracer,
+                               design=design or graph.name, method=method)
+        span.meta["ok"] = report.ok
+        span.meta["statuses"] = {v.stage: v.status for v in report.stages}
+    result.equiv = report
+    if cache is not None and fingerprint is not None:
+        cache.store_equiv(fingerprint, report)
 
 
 def _dispatch(graph: CDFG, method: str, device: Device,

@@ -2,15 +2,47 @@
 
 No Verilog simulator is available offline, so this linter provides the
 self-checks the test suite runs on every emitted module: balanced
-constructs, sane ranges, and no dangling identifiers (every identifier used
+constructs, sane ranges, no dangling identifiers (every identifier used
 in an expression is declared somewhere in the module — Verilog allows
-declaration after use, so this is a two-pass check). It is intentionally
+declaration after use, so this is a two-pass check), no undriven wires,
+and no width-mismatched continuous assigns. It is intentionally
 conservative and only parses the constructs the emitter produces.
+
+The width check rides on the structural parser (:mod:`repro.rtl.parse`):
+when the text is inside the parser's subset (every emitted DUT module
+is), each ``wire ... = expr`` / ``assign target = expr`` is checked for
+*definite* width bugs — a sized literal whose value overflows its width
+or whose width disagrees with the LHS it directly drives, a part/bit
+select reaching past its vector's declared range (or a memory's size),
+and a concatenation whose exact width disagrees with the LHS. General
+self-width inequality is deliberately **not** an error: the emitter
+leans on Verilog's implicit truncation/extension for bits the dataflow
+analysis proved dead, and the symbolic equivalence engine
+(:mod:`repro.analysis.equiv`) proves those assigns semantics-preserving
+— the linter only rejects mismatches no correct emitter can produce.
+Text outside the subset (testbenches, with their initial blocks and
+``$display`` tasks) skips the width pass but keeps every textual check,
+where a wire counts as driven when it is inline-assigned, the target of
+an ``assign``, or connected to a module instance port.
 """
 
 from __future__ import annotations
 
 import re
+
+from .parse import (
+    Binary,
+    Concat,
+    Index,
+    Num,
+    Part,
+    Ref,
+    RtlParseError,
+    Signed,
+    Ternary,
+    Unary,
+    parse_module,
+)
 
 __all__ = ["lint_verilog"]
 
@@ -28,6 +60,129 @@ _KEYWORDS = {
     "module", "endmodule", "input", "output", "wire", "reg", "assign",
     "always", "posedge", "negedge", "begin", "end", "if", "else", "signed",
 }
+
+# A wire declaration with no inline initializer: ``wire [7:0] name;``.
+_BARE_WIRE_RE = re.compile(
+    r"^\s*wire\s*(?:\[[^]]*\]\s*)?([A-Za-z_][A-Za-z_0-9]*)\s*;",
+    re.MULTILINE,
+)
+# Drivers for such a wire: an ``assign`` targeting it, or a module
+# instance port connection ``.port(name)``.
+_ASSIGN_TARGET_RE = re.compile(
+    r"\bassign\s+([A-Za-z_][A-Za-z_0-9]*)\s*[=\[]")
+_PORT_CONN_RE = re.compile(
+    r"\.\s*[A-Za-z_][A-Za-z_0-9]*\s*\(\s*([A-Za-z_][A-Za-z_0-9]*)\s*\)")
+
+def _concat_width(expr, env: dict[str, int],
+                  memories: set[str]) -> int | None:
+    """Exact width of a concat part (None = not statically known)."""
+    if isinstance(expr, Num):
+        return expr.width
+    if isinstance(expr, Ref):
+        return env.get(expr.name)
+    if isinstance(expr, Part):
+        return expr.hi - expr.lo + 1
+    if isinstance(expr, Index):
+        return env.get(expr.name) if expr.name in memories else 1
+    if isinstance(expr, Concat):
+        widths = [_concat_width(p, env, memories) for p in expr.parts]
+        return None if any(w is None for w in widths) else sum(widths)
+    return None
+
+
+def _expr_problems(expr, env: dict[str, int], memories: set[str],
+                   sizes: dict[str, int], what: str) -> list[str]:
+    """Definite width bugs anywhere inside ``expr``."""
+    problems = []
+    if isinstance(expr, Num):
+        if expr.width is not None and expr.value >= (1 << expr.width):
+            problems.append(
+                f"{what}: literal {expr.width}'d{expr.value} overflows "
+                f"its declared width")
+    elif isinstance(expr, Part):
+        declared = env.get(expr.name)
+        if expr.lo < 0 or expr.hi < expr.lo:
+            problems.append(
+                f"{what}: degenerate part select "
+                f"{expr.name}[{expr.hi}:{expr.lo}]")
+        elif declared is not None and expr.name not in memories \
+                and expr.hi >= declared:
+            problems.append(
+                f"{what}: part select {expr.name}[{expr.hi}:{expr.lo}] "
+                f"reaches past the {declared}-bit declaration")
+    elif isinstance(expr, Index):
+        if isinstance(expr.index, Num):
+            idx = expr.index.value
+            if expr.name in memories:
+                if idx >= sizes.get(expr.name, idx + 1):
+                    problems.append(
+                        f"{what}: memory index {expr.name}[{idx}] reaches "
+                        f"past the array size {sizes.get(expr.name)}")
+            else:
+                declared = env.get(expr.name)
+                if declared is not None and idx >= declared:
+                    problems.append(
+                        f"{what}: bit select {expr.name}[{idx}] reaches "
+                        f"past the {declared}-bit declaration")
+        problems.extend(_expr_problems(expr.index, env, memories, sizes,
+                                       what))
+    if isinstance(expr, Concat):
+        for part in expr.parts:
+            problems.extend(_expr_problems(part, env, memories, sizes, what))
+    elif isinstance(expr, (Unary, Signed)):
+        problems.extend(_expr_problems(expr.arg, env, memories, sizes, what))
+    elif isinstance(expr, Ternary):
+        for sub in (expr.cond, expr.if_true, expr.if_false):
+            problems.extend(_expr_problems(sub, env, memories, sizes, what))
+    elif isinstance(expr, Binary):
+        problems.extend(_expr_problems(expr.left, env, memories, sizes,
+                                       what))
+        problems.extend(_expr_problems(expr.right, env, memories, sizes,
+                                       what))
+    return problems
+
+
+def _width_problems(text: str) -> list[str]:
+    """Width-check every continuous assign, when ``text`` parses."""
+    try:
+        module = parse_module(text)
+    except RtlParseError:
+        return []  # outside the structural subset (e.g. a testbench)
+    env: dict[str, int] = {p.name: p.width for p in module.ports}
+    env.update({w.name: w.width for w in module.wires})
+    env.update({r.name: r.width for r in module.regs})
+    env.update({m.name: m.width for m in module.memories})
+    memories = {m.name for m in module.memories}
+    sizes = {m.name: m.size for m in module.memories}
+
+    problems = []
+    targets = [(w.name, w.expr, f"wire {w.name}") for w in module.wires]
+    targets += [(a.target, a.expr, f"assign {a.target}")
+                for a in module.assigns]
+    targets += [(u.target, u.expr, f"register {u.target}")
+                for u in module.updates]
+    for name, expr, what in targets:
+        problems.extend(_expr_problems(expr, env, memories, sizes, what))
+        lhs = env.get(name)
+        if lhs is None:
+            continue
+        # Exact-width RHS shapes must fit the LHS: a literal sized wider
+        # than its target or a concatenation of the wrong exact width has
+        # no implicit-sizing story to hide behind. (A *narrower* sized
+        # literal zero-extends benignly — the emitter drives wide output
+        # ports with narrowed constants.)
+        if isinstance(expr, Num) and expr.width is not None \
+                and expr.width > lhs:
+            problems.append(
+                f"width mismatch in {what}: LHS is {lhs} bits but the "
+                f"literal is sized {expr.width} bits")
+        elif isinstance(expr, Concat):
+            rhs = _concat_width(expr, env, memories)
+            if rhs is not None and rhs != lhs:
+                problems.append(
+                    f"width mismatch in {what}: LHS is {lhs} bits but "
+                    f"the concatenation is exactly {rhs} bits")
+    return problems
 
 
 def lint_verilog(text: str) -> list[str]:
@@ -73,4 +228,16 @@ def lint_verilog(text: str) -> list[str]:
                 problems.append(
                     f"line {line_no}: identifier {ident!r} is never declared"
                 )
+
+    # Pass 3: every bare wire must be driven somewhere — by an assign or
+    # by a module instance port connection. An undriven wire is high-Z in
+    # simulation and a silent constant after synthesis.
+    driven = set(_ASSIGN_TARGET_RE.findall(text))
+    driven.update(_PORT_CONN_RE.findall(text))
+    for m in _BARE_WIRE_RE.finditer(text):
+        name = m.group(1)
+        if name not in driven:
+            problems.append(f"wire {name!r} is never driven")
+
+    problems.extend(_width_problems(text))
     return problems

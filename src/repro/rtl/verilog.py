@@ -48,6 +48,7 @@ class VerilogEmitter:
         self.graph: CDFG = schedule.graph
         self.module_name = module_name or schedule.graph.name.replace("-", "_")
         self._stage_depth: dict[int, int] = {}
+        self._warm_depth = 0
 
     # ------------------------------------------------------------------
     # Expression construction
@@ -78,7 +79,17 @@ class VerilogEmitter:
             ):
                 return self._staged_ref(op.source, frame_root, op.distance)
             if op.source in cut.interior or op.source == frame_root:
-                return "(" + self._expr(op.source, frame_root, depth + 1) + ")"
+                inner = self._expr(op.source, frame_root, depth + 1)
+                if self._fits_width(src):
+                    return "(" + inner + ")"
+                # Verilog evaluates an inlined expression at the *context*
+                # width, keeping carries, borrow wraps and inverted high
+                # bits that the IR masks off at every node boundary. A
+                # root gets that mask for free from its wire declaration;
+                # an interior needs it spelled out (the sized mask literal
+                # also pins the context to at least the node's width).
+                m = (1 << src.width) - 1
+                return f"(({inner}) & {src.width}'d{m})"
             # Neither boundary nor in-cone: the cut's support masks proved
             # the cone output independent of this operand (e.g. a shift-out
             # that became constant after narrowing). No wire exists; any
@@ -118,7 +129,16 @@ class VerilogEmitter:
                 return f"(({inner}) >> {node.amount}) & {node.width}'d{mask_lit}"
             return f"{inner}[{hi}:{node.amount}]"
         if k is OpKind.CONCAT:
-            return f"{{{operand(1)}, {operand(0)}}}"
+            lo_w = graph.node(node.operands[0].source).width
+            lo, hi = operand(0), operand(1)
+            if lo.startswith("(") or hi.startswith("("):
+                # A concat part's placement is its *self-determined*
+                # width, and an inlined expression's self-width need not
+                # match its node's width; shift-or keeps the layout
+                # explicit instead (callers mask it, so the context is
+                # wide enough to hold the shifted high part).
+                return f"({hi} << {lo_w}) | {lo}"
+            return f"{{{hi}, {lo}}}"
         if k is OpKind.ADD:
             return f"{operand(0)} + {operand(1)}"
         if k is OpKind.SUB:
@@ -133,10 +153,26 @@ class VerilogEmitter:
             return f"{operand(0)} < {operand(1)}"
         if k is OpKind.GE:
             return f"{operand(0)} >= {operand(1)}"
-        if k is OpKind.SLT:
-            return f"$signed({operand(0)}) < $signed({operand(1)})"
-        if k is OpKind.SGE:
-            return f"$signed({operand(0)}) >= $signed({operand(1)})"
+        if k in (OpKind.SLT, OpKind.SGE):
+            # ``$signed`` takes its sign bit from the operand's
+            # *self-determined* width, which for an inlined expression
+            # need not match the node width the IR signs at. The offset-
+            # binary form depends only on operand *values*: mapping
+            # ``x -> sext(x) + 2^(W-1)`` (over ``W = max(w0, w1)`` bits)
+            # preserves signed order under an unsigned compare, and the
+            # W-sized bias literal pins the comparison context to W.
+            w0 = graph.node(node.operands[0].source).width
+            w1 = graph.node(node.operands[1].source).width
+            wide = max(w0, w1)
+
+            def biased(e: str, w: int) -> str:
+                sign = 1 << (w - 1)
+                bias = (1 << (wide - 1)) - sign
+                return f"(({e} ^ {w}'d{sign}) + {wide}'d{bias})"
+
+            rel = "<" if k is OpKind.SLT else ">="
+            return (f"{biased(operand(0), w0)} {rel} "
+                    f"{biased(operand(1), w1)}")
         if k is OpKind.VSHL:
             return f"{operand(0)} << {operand(1)}"
         if k is OpKind.VSHR:
@@ -151,6 +187,36 @@ class VerilogEmitter:
             return operand(0)
         raise RTLError(f"cannot emit expression for {k.value}")
 
+    _EXACT_KINDS = frozenset((
+        OpKind.TRUNC,   # emits its own mask
+        OpKind.SLICE,   # exact bit range (or shift+mask fallback)
+        OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.GE,
+        OpKind.SLT, OpKind.SGE,  # comparisons are one bit in Verilog
+    ))
+
+    def _fits_width(self, node: Node) -> bool:
+        """Whether ``node``'s emitted expression can never exceed
+        ``mask(node.width)``, in *any* (wider) evaluation context.
+
+        Nodes that fit need no guard when inlined: their Verilog value
+        equals the IR value bit for bit. Everything else — arithmetic
+        carries and borrow wraps, shifted-out bits, ``~`` inverting
+        context-extension bits, bitwise/mux operands wider than the
+        node — must be masked back down at the point of inlining.
+        CONCAT is conservatively guarded: its shift-or form relies on
+        the caller's mask literal to size the context.
+        """
+        if node.kind in self._EXACT_KINDS:
+            return True
+        widths = [self.graph.node(op.source).width for op in node.operands]
+        if node.kind is OpKind.AND:
+            return bool(widths) and min(widths) <= node.width
+        if node.kind in (OpKind.OR, OpKind.XOR, OpKind.ZEXT):
+            return bool(widths) and max(widths) <= node.width
+        if node.kind is OpKind.MUX:
+            return max(widths[1:]) <= node.width
+        return False
+
     def _staged_ref(self, source: int, consumer_root: int,
                     distance: int) -> str:
         """Reference to a boundary value, staged by the cycle gap."""
@@ -164,7 +230,22 @@ class VerilogEmitter:
             )
         name = _ident(src)
         self._stage_depth[source] = max(self._stage_depth.get(source, 0), gap)
-        return name if gap == 0 else f"{name}_r{gap}"
+        ref = name if gap == 0 else f"{name}_r{gap}"
+        if distance > 0:
+            # Cold-start gate for carried dependences. The consumer
+            # computes iteration i = clock - S_consumer and wants source
+            # iteration i - d, which only exists once i >= d — before
+            # that, the chain (or, for gap 0, the same-cycle wire) holds
+            # values derived from other initials, not the declared seed,
+            # which would permanently contaminate recurrences. warm_sr
+            # shifts in ones, so warm_sr[k] is high iff clock >= k + 1;
+            # gate on k = d + S_consumer - 1 to substitute the declared
+            # initial during exactly the cold iterations i < d.
+            k = distance + sched.cycle[consumer_root] - 1
+            self._warm_depth = max(self._warm_depth, k + 1)
+            init = int(src.attrs.get("initial", 0)) & ((1 << src.width) - 1)
+            return f"(warm_sr[{k}] ? {ref} : {src.width}'d{init})"
+        return ref
 
     def _operand_ref(self, node: Node, slot: int) -> str:
         """Staged reference for one operand, with constants as literals.
@@ -264,13 +345,22 @@ class VerilogEmitter:
                 continue
             src = graph.node(source)
             name = _ident(src)
-            init = int(src.attrs.get("initial", 0))
+            init = int(src.attrs.get("initial", 0)) & ((1 << src.width) - 1)
             for d in range(1, depth + 1):
                 reg_lines.append(
                     f"reg [{src.width - 1}:0] {name}_r{d} = {src.width}'d{init};"
                 )
                 prev = name if d == 1 else f"{name}_r{d - 1}"
                 always_lines.append(f"    {name}_r{d} <= {prev};")
+
+        if self._warm_depth:
+            d = self._warm_depth
+            reg_lines.append(f"reg [{d - 1}:0] warm_sr = 0;")
+            if d == 1:
+                always_lines.append("    warm_sr <= 1'b1;")
+            else:
+                always_lines.append(
+                    f"    warm_sr <= {{warm_sr[{d - 2}:0], 1'b1}};")
 
         latency = sched.latency
         reg_lines.append(f"reg [{max(latency, 1)}:0] valid_sr = 0;")

@@ -138,6 +138,61 @@ class FlowCache:
         return path
 
     # ------------------------------------------------------------------
+    # Equivalence verdicts (see repro.analysis.equiv). Keyed by the same
+    # flow fingerprint as the result they validate: a verdict is a fact
+    # about (graph, method, device, config), so the key that makes the
+    # schedule reusable makes the proof reusable too.
+    def equiv_path_for(self, fingerprint: str) -> str:
+        return os.path.join(self.root, "equiv", f"{fingerprint}.json")
+
+    def load_equiv(self, fingerprint: str,
+                   stages: tuple[str, ...]) -> "Any | None":
+        """Return the cached :class:`EquivReport` or ``None``.
+
+        A hit requires the stored verdicts to cover exactly the requested
+        ``stages`` — a report proving fewer stages must not satisfy a
+        request for more, and extra stages would mislabel the run.
+        """
+        from ..analysis.equiv.validate import EquivReport
+
+        try:
+            with open(self.equiv_path_for(fingerprint), "r",
+                      encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if data.get("fingerprint") != fingerprint:
+            return None
+        try:
+            report = EquivReport.from_dict(data["report"])
+        except Exception:
+            return None  # corrupt entries degrade to misses, like results
+        if tuple(v.stage for v in report.stages) != tuple(stages):
+            return None
+        return report
+
+    def store_equiv(self, fingerprint: str, report: "Any") -> str:
+        """Atomically persist an :class:`EquivReport` under ``fingerprint``."""
+        path = self.equiv_path_for(fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        document = {
+            "fingerprint": fingerprint,
+            "report": report.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         count = 0
         for _, _, files in os.walk(self.root):

@@ -28,7 +28,7 @@ TRACE_SCHEMA = "repro-trace/v1"
 SPAN_NAMES = (
     "lint", "narrow", "cut-enum", "milp-build", "presolve", "warm-start",
     "solve", "schedule", "map", "verify", "evaluate", "cache-load",
-    "cache-store",
+    "cache-store", "miter", "equiv",
 )
 
 
