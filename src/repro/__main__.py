@@ -67,11 +67,17 @@ from .designs.registry import BENCHMARKS
 
 
 def _config(args) -> SchedulerConfig:
+    # Partition flags only exist on parsers that include the partition
+    # parent; getattr keeps the other commands on the defaults.
     return SchedulerConfig(ii=args.ii, tcp=args.tcp, alpha=args.alpha,
                            beta=1.0 - args.alpha, time_limit=args.time_limit,
                            narrow=not args.no_narrow,
                            presolve=not args.no_presolve,
-                           warm_start=not args.no_warm_start)
+                           warm_start=not args.no_warm_start,
+                           partition=getattr(args, "partition", False),
+                           partition_size=getattr(args, "partition_size", 48),
+                           partition_rounds=getattr(args, "partition_rounds",
+                                                    2))
 
 
 def _device(args):
@@ -113,6 +119,19 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--no-warm-start", action="store_true",
                        help="disable heuristic warm starts for the MILP "
                             "solves (see docs/performance.md)")
+
+    partition = argparse.ArgumentParser(add_help=False)
+    partition.add_argument("--partition", action="store_true",
+                           help="solve by subgraph decomposition with "
+                                "feedback-guided re-cuts "
+                                "(milp-base/milp-map only; see "
+                                "docs/partitioning.md)")
+    partition.add_argument("--partition-size", type=int, default=48,
+                           metavar="N",
+                           help="target nodes per subgraph (default 48)")
+    partition.add_argument("--partition-rounds", type=int, default=2,
+                           metavar="R",
+                           help="feedback re-cut rounds (default 2)")
 
     runtime = argparse.ArgumentParser(add_help=False)
     runtime.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -164,6 +183,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    choices=["hls-tool", "milp-base", "milp-map", "heur-map"],
                    default="milp-map",
                    help="flow to trace (default milp-map)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (default text)")
+
+    p = sub.add_parser("schedule",
+                       parents=[sched, partition, device_parent("xc7"),
+                                runtime],
+                       help="schedule one design end-to-end, optionally "
+                            "via subgraph decomposition "
+                            "(see docs/partitioning.md)")
+    p.add_argument("design",
+                   help="benchmark or full-size design name "
+                        "(see `repro list`)")
+    p.add_argument("--method",
+                   choices=["hls-tool", "milp-base", "milp-map", "heur-map"],
+                   default="milp-map",
+                   help="flow to run (default milp-map)")
+    p.add_argument("--validate", action="store_true",
+                   help="prove every flow stage with the miter/SAT "
+                        "equivalence engine (see docs/equivalence.md)")
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="output format (default text)")
 
@@ -379,6 +417,67 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_schedule(args) -> int:
+    """Run one flow on one design (Table 1 size or full-size variant)."""
+    from .designs.fullsize import FULLSIZE
+    from .experiments import run_flow
+    from .runtime import FlowCache
+
+    name = args.design.upper()
+    spec = BENCHMARKS.get(name) or FULLSIZE.get(name)
+    if spec is None:
+        print(f"repro schedule: unknown design {args.design!r} "
+              f"(see `repro list`)", file=sys.stderr)
+        return 2
+    if args.partition and args.method not in ("milp-base", "milp-map"):
+        print(f"repro schedule: --partition requires milp-base or "
+              f"milp-map, not {args.method}", file=sys.stderr)
+        return 2
+    cache = FlowCache(args.cache_dir) if args.cache_dir else None
+    flow = run_flow(spec.build(), args.method, device=_device(args),
+                    config=_config(args), design=name, cache=cache,
+                    validate=True if args.validate else None,
+                    jobs=args.jobs)
+    report = flow.report
+
+    partition_spans = [s for s in flow.trace.spans
+                       if s.name in ("partition-cut", "stitch", "feedback")]
+    equiv_ok = None if flow.equiv is None else flow.equiv.ok
+    if args.format == "json":
+        document = {
+            "design": name,
+            "method": args.method,
+            "cached": flow.cached,
+            "fingerprint": flow.fingerprint,
+            "source_graph": flow.source_graph,
+            "report": report.to_dict(),
+            "partition": {
+                "enabled": args.partition,
+                "spans": [s.to_dict() for s in partition_spans],
+            },
+        }
+        if flow.equiv is not None:
+            document["equiv"] = flow.equiv.to_dict()
+        print(json.dumps(document, indent=2))
+    else:
+        state = "cache hit" if flow.cached else "computed"
+        print(f"schedule {name}:{args.method} ({state}, "
+              f"graph={flow.source_graph})")
+        print(f"  cp {report.cp:.2f} ns  luts {report.luts}  "
+              f"ffs {report.ffs}  latency {report.latency}  "
+              f"ii {report.ii}  solve {report.solve_seconds:.1f}s"
+              + ("  optimal" if report.optimal else ""))
+        for span in partition_spans:
+            meta = {k: v for k, v in span.meta.items() if k != "cached"}
+            print(f"  {span.name}: {meta}")
+        if flow.equiv is not None:
+            for v in flow.equiv.stages:
+                print(f"  equiv {v.stage:8s} {v.status}")
+    if equiv_ok is False:
+        return 1
+    return 0
+
+
 def _cmd_equiv(args) -> int:
     """Validate flow stages symbolically; exit 1 on any refuted stage."""
     from .analysis.equiv import EQUIV_SCHEMA, EquivBudget, validate_flow
@@ -545,8 +644,13 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
+        from .designs.fullsize import FULLSIZE
+
         for name, spec in BENCHMARKS.items():
             print(f"{name:8s} {spec.kind:12s} {spec.domain:22s} "
+                  f"{spec.description}")
+        for name, spec in FULLSIZE.items():
+            print(f"{name:8s} full-size    {spec.domain:22s} "
                   f"{spec.description}")
         return 0
 
@@ -584,6 +688,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "trace":
         return _cmd_trace(args)
+
+    if args.command == "schedule":
+        return _cmd_schedule(args)
 
     if args.command == "figure1":
         from .experiments import format_figure1, run_figure1

@@ -58,6 +58,21 @@ class SchedulerConfig:
         schedule at the same II: a cutoff constraint for the scipy
         backend, an incumbent + branching hints for bnb
         (``--no-warm-start`` to ablate).
+    partition:
+        Solve via subgraph decomposition (:mod:`repro.partition`): cut the
+        CDFG into cone- and recurrence-respecting subgraphs, solve each
+        with the per-method MILP, stitch under boundary constraints, and
+        iterate on the stitched cost model. This is the scaling path for
+        paper-sized designs where the monolithic MILP explodes
+        (docs/partitioning.md).
+    partition_size:
+        Target node count per subgraph before a new one is started. Atomic
+        clusters (recurrence SCCs, merged cut cones) are never split, so a
+        subgraph can exceed this.
+    partition_rounds:
+        Feedback re-cut budget: after the initial stitch, up to this many
+        merge-the-worst-boundary rounds run, keeping the best verified
+        result seen.
     """
 
     ii: int = 1
@@ -75,6 +90,9 @@ class SchedulerConfig:
     narrow: bool = True
     presolve: bool = True
     warm_start: bool = True
+    partition: bool = False
+    partition_size: int = 48
+    partition_rounds: int = 2
 
     def __post_init__(self) -> None:
         if self.ii < 1:
@@ -83,6 +101,12 @@ class SchedulerConfig:
             raise SchedulingError(f"Tcp must be positive, got {self.tcp}")
         if self.alpha < 0 or self.beta < 0:
             raise SchedulingError("alpha and beta must be non-negative")
+        if self.partition_size < 1:
+            raise SchedulingError(
+                f"partition_size must be >= 1, got {self.partition_size}")
+        if self.partition_rounds < 0:
+            raise SchedulingError(
+                f"partition_rounds must be >= 0, got {self.partition_rounds}")
 
     def fingerprint_fields(self) -> dict:
         """The fields hashed into a flow-cache fingerprint.

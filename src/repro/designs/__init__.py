@@ -1,9 +1,11 @@
-"""The nine Table 1 benchmarks plus synthetic DFG generation."""
+"""The nine Table 1 benchmarks, paper-scale full-size variants, and
+synthetic DFG generation."""
 
 from .aes import AES_SBOX, build_aes_round, make_aes_env, reference_aes_round
 from .clz import build_clz, reference_clz
 from .cordic import build_cordic, cordic_atan_table, reference_cordic
 from .dr import DR_TRAINING, build_dr, make_dr_env, reference_dr_step
+from .fullsize import FULLSIZE, fullsize_names, get_fullsize
 from .gfmul import build_gfmul, reference_gfmul
 from .gsm import build_gsm, reference_gsm_step
 from .mt import MT_TABLE_SIZE, build_mt, make_mt_env, reference_mt
@@ -23,6 +25,7 @@ __all__ = [
     "BENCHMARKS",
     "BenchmarkSpec",
     "DR_TRAINING",
+    "FULLSIZE",
     "MT_TABLE_SIZE",
     "RS_CODEWORD",
     "application_names",
@@ -36,7 +39,9 @@ __all__ = [
     "build_rs",
     "build_xorr",
     "cordic_atan_table",
+    "fullsize_names",
     "get_benchmark",
+    "get_fullsize",
     "kernel_names",
     "make_aes_env",
     "make_dr_env",

@@ -14,6 +14,13 @@ symbolic translation-validation chain (``repro.analysis.equiv``) over
 :data:`EQUIV_DESIGNS`, so the miter/SAT hot path rides the same
 baseline regression gate as the solvers.
 
+A fourth kind, ``partition`` (single arm ``partition``), times the
+subgraph-decomposition scheduler (:mod:`repro.partition`) — on the
+full-size paper-scale variants (:data:`PARTITION_DESIGNS`) in the full
+matrix, and on GFMUL with a deliberately small subgraph size in
+``--quick`` so CI exercises cut/solve/stitch/feedback without paying
+for a paper-sized design.
+
 The summary reports geometric-mean speedups of cold over optimized —
 ``scipy_solve_speedup`` over the backend solve spans and
 ``bnb_wall_speedup`` over scheduler wall time — which is how the claims
@@ -68,6 +75,15 @@ QUICK_DESIGNS = ("GSM", "DR", "CLZ")
 #: to discharge in seconds); its wall time tracks the miter/SAT hot path
 #: the same way the solver arms track the MILP hot path.
 EQUIV_DESIGNS = ("CLZ", "XORR", "GFMUL", "DR")
+
+#: Full-size variants (:mod:`repro.designs.fullsize`) the partition arm
+#: schedules in the full matrix — paper-scale node counts where a flat
+#: MILP would blow any reasonable cap.
+PARTITION_DESIGNS = ("GFMUL64", "CORDIC48", "XORR512")
+
+#: The ``--quick`` partition subject: a Table 1 design forced into
+#: multiple subgraphs via a small ``partition_size``.
+QUICK_PARTITION = ("GFMUL",)
 
 #: Timing fields stripped from the canonical (byte-stable) JSON form.
 _TIMING_KEYS = frozenset({
@@ -321,6 +337,46 @@ def _run_equiv_task(task: _BenchTask) -> dict[str, Any]:
     return record
 
 
+def _run_partition_task(task: _BenchTask) -> dict[str, Any]:
+    from ..designs.fullsize import FULLSIZE
+    from ..partition import PartitionScheduler
+
+    spec = BENCHMARKS.get(task.name) or FULLSIZE[task.name]
+    graph = spec.build()
+    if task.config.narrow:
+        graph, _ = narrow_graph(graph)
+    record: dict[str, Any] = {
+        "kind": task.kind, "name": task.name, "method": task.method,
+        "backend": task.backend, "arm": task.arm,
+        "nodes": len(graph.node_ids),
+        "partition_size": task.config.partition_size,
+        "partition_rounds": task.config.partition_rounds,
+    }
+    t0 = time.perf_counter()
+    try:
+        scheduler = PartitionScheduler(graph, task.device, task.config,
+                                       method=task.method)
+        schedule = scheduler.schedule()
+    except ReproError as exc:
+        record.update(ok=False, error=type(exc).__name__,
+                      wall_seconds=time.perf_counter() - t0)
+        return record
+    record.update(
+        ok=True,
+        ii=schedule.ii,
+        optimal=schedule.optimal,
+        objective=(round(schedule.objective, 6)
+                   if schedule.objective is not None else None),
+        wall_seconds=time.perf_counter() - t0,
+        solve_seconds=schedule.solve_seconds,
+        subgraphs=scheduler.subgraph_counts[0],
+        rounds=scheduler.rounds_run,
+        boundary_bits=(scheduler.info.total_boundary_bits
+                       if scheduler.info else 0),
+    )
+    return record
+
+
 _WARMED = False
 
 
@@ -349,6 +405,8 @@ def _run_bench_task(task: _BenchTask) -> dict[str, Any]:
         return _run_micro_task(task)
     if task.kind == "equiv":
         return _run_equiv_task(task)
+    if task.kind == "partition":
+        return _run_partition_task(task)
     return _run_design_task(task)
 
 
@@ -469,12 +527,25 @@ def run_bench(designs: list[str] | None = None, device: Device = XC7,
     the matrix to :data:`QUICK_DESIGNS` and a shorter time limit — the
     CI perf-smoke shape.
     """
+    from ..designs.fullsize import FULLSIZE
+
     config = config or SchedulerConfig()
-    names = [d.upper() for d in designs] if designs else (
-        list(QUICK_DESIGNS) if quick else list(BENCHMARKS))
-    for name in names:
-        if name not in BENCHMARKS:
-            raise ExperimentError(f"unknown design {name!r}")
+    if designs:
+        requested = [d.upper() for d in designs]
+        unknown = [n for n in requested
+                   if n not in BENCHMARKS and n not in FULLSIZE]
+        if unknown:
+            raise ExperimentError(f"unknown design(s) "
+                                  f"{', '.join(map(repr, unknown))}")
+        names = [n for n in requested if n in BENCHMARKS]
+        partition_names = [n for n in requested if n in FULLSIZE]
+        if quick:
+            partition_names += [n for n in requested
+                                if n in QUICK_PARTITION]
+    else:
+        names = list(QUICK_DESIGNS) if quick else list(BENCHMARKS)
+        partition_names = (list(QUICK_PARTITION) if quick
+                           else list(PARTITION_DESIGNS))
     if quick:
         config = replace(config, time_limit=min(config.time_limit or 60.0,
                                                 60.0))
@@ -504,6 +575,16 @@ def run_bench(designs: list[str] | None = None, device: Device = XC7,
         tasks.append(_BenchTask("equiv", name, "milp-map", "miter",
                                 "validate", device,
                                 replace(config, backend="scipy")))
+    for name in partition_names:
+        # Table 1 subjects (quick) are forced into multiple subgraphs
+        # with a small partition_size; full-size variants use the
+        # shipped default. One feedback round keeps the arm's wall time
+        # proportional to two stitches, not a full convergence run.
+        part_cfg = replace(config, backend="scipy", partition=True,
+                           partition_rounds=1,
+                           partition_size=12 if name in BENCHMARKS else 48)
+        tasks.append(_BenchTask("partition", name, "milp-map", "scipy",
+                                "partition", device, part_cfg))
 
     t0 = time.perf_counter()
     records = run_parallel(

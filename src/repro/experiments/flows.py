@@ -91,8 +91,8 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
              narrow: bool | None = None,
              cache: FlowCache | None = None,
              tracer: Tracer | None = None,
-             validate: "bool | tuple[str, ...] | list[str] | None" = None
-             ) -> FlowResult:
+             validate: "bool | tuple[str, ...] | list[str] | None" = None,
+             jobs: int | None = 1) -> FlowResult:
     """Run one Table 1 flow on ``graph`` and evaluate the hardware.
 
     Unless ``lint=False``, the design is first checked by the static
@@ -125,6 +125,13 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
     report rides on ``FlowResult.equiv`` under an ``equiv`` tracer span;
     with a ``cache``, verdicts are stored next to the flow result under
     the same fingerprint, so warm reruns re-prove nothing.
+
+    ``config.partition`` routes ``milp-base``/``milp-map`` through
+    :class:`~repro.partition.PartitionScheduler` (subgraph decomposition;
+    docs/partitioning.md). ``jobs`` sets that scheduler's per-subgraph
+    solve parallelism; being runtime-only it never enters fingerprints —
+    the partition *parameters* (``partition``/``partition_size``/
+    ``partition_rounds``) do, via ``SchedulerConfig.fingerprint_fields``.
     """
     config = config or SchedulerConfig()
     if method not in ALL_METHODS:
@@ -164,7 +171,7 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
         try:
             with tracer.context(graph="narrowed"):
                 result = _dispatch(narrowed, method, device, config,
-                                   design, tracer)
+                                   design, tracer, jobs)
             result.source_graph = "narrowed"
         except (SolverError, SchedulingError, AnalysisError) as exc:
             # Narrowing must never turn a schedulable kernel into a
@@ -180,7 +187,8 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
                 pass
     if result is None:
         with tracer.context(graph="original"):
-            result = _dispatch(graph, method, device, config, design, tracer)
+            result = _dispatch(graph, method, device, config, design,
+                               tracer, jobs)
         result.source_graph = "original"
     result.trace = tracer
     result.fingerprint = fingerprint
@@ -220,15 +228,22 @@ def _attach_validation(result: FlowResult, graph: CDFG, validate,
 
 def _dispatch(graph: CDFG, method: str, device: Device,
               config: SchedulerConfig, design: str | None,
-              tracer: Tracer) -> FlowResult:
+              tracer: Tracer, jobs: int | None = 1) -> FlowResult:
     if method == "hls-tool":
         with tracer.span("schedule", method=method):
             result = CommercialHLSProxy(graph, device, tcp=config.tcp)\
                 .run(target_ii=config.ii)
             schedule = result.schedule
     elif method == "milp-base":
-        schedule = BaseScheduler(graph, device, config,
-                                 tracer=tracer).schedule()
+        if config.partition:
+            from ..partition import PartitionScheduler
+
+            schedule = PartitionScheduler(
+                graph, device, config, method=method, tracer=tracer,
+                jobs=jobs, design=design).schedule()
+        else:
+            schedule = BaseScheduler(graph, device, config,
+                                     tracer=tracer).schedule()
         # Downstream mapping respects the frozen register boundaries but
         # still packs logic within each stage (as Vivado would).
         with tracer.span("map", method=method):
@@ -236,8 +251,15 @@ def _dispatch(graph: CDFG, method: str, device: Device,
             schedule = map_schedule(schedule, device)
             schedule.method = "milp-base"
     elif method == "milp-map":
-        schedule = MapScheduler(graph, device, config,
-                                tracer=tracer).schedule()
+        if config.partition:
+            from ..partition import PartitionScheduler
+
+            schedule = PartitionScheduler(
+                graph, device, config, method=method, tracer=tracer,
+                jobs=jobs, design=design).schedule()
+        else:
+            schedule = MapScheduler(graph, device, config,
+                                    tracer=tracer).schedule()
     elif method == "heur-map":
         from ..core.heuristic import MappingAwareHeuristicScheduler
 

@@ -464,6 +464,60 @@ def oracle_cache(case: FuzzCase) -> Divergence | None:
     return None
 
 
+def oracle_partition(case: FuzzCase) -> Divergence | None:
+    """Subgraph decomposition vs the monolithic solve (docs/partitioning.md).
+
+    The stitched schedule must re-verify independently, must replay
+    bit-exactly against the functional reference, and must never *worsen*
+    the II: every subgraph problem is a restriction of the monolithic one
+    (its recurrences and resource demands are subsets), so with time caps
+    skipped the fleet II can only match or beat the monolithic II.
+    """
+    import dataclasses
+
+    from ..core.verify import schedule_problems
+    from ..partition import PartitionScheduler
+
+    mono = case.flow("milp-map")
+    # A third of the graph per subgraph forces 2-4 subgraphs on fuzz-sized
+    # cases — real boundaries, real stitching, still one solver call each.
+    size = max(4, len(case.graph.node_ids) // 3)
+    cfg = dataclasses.replace(case.config, partition=True,
+                              partition_size=size, partition_rounds=1)
+    try:
+        stitched = PartitionScheduler(case.graph, case.device, cfg,
+                                      method="milp-map").schedule()
+    except ScheduleVerificationError:
+        raise                  # a stitched schedule that fails verify IS the bug
+    except SolverError as exc:
+        raise SkipOracle(f"partition: solver gave up ({exc})") from exc
+    except SchedulingError as exc:
+        raise SkipOracle(f"partition: infeasible ({exc})") from exc
+
+    problems = schedule_problems(stitched, case.device)
+    if problems:
+        return Divergence(
+            oracle="partition", kind="verify",
+            message="stitched schedule fails independent re-verification",
+            details={"problems": problems[:5], "subgraph_size": size})
+    if stitched.ii > mono.schedule.ii:
+        return Divergence(
+            oracle="partition", kind="cost",
+            message="partitioning worsened the II",
+            details={"partition_ii": stitched.ii,
+                     "monolithic_ii": mono.schedule.ii})
+    golden = case.golden()
+    piped = PipelineSimulator(stitched, case.device, case.env())\
+        .run(case.stimulus)
+    if piped != golden:
+        return Divergence(
+            oracle="partition", kind="mismatch",
+            message="stitched schedule disagrees with the functional "
+                    "reference",
+            details=_first_mismatch(golden, piped))
+    return None
+
+
 ORACLES: dict[str, Callable[[FuzzCase], Divergence | None]] = {
     "sim-replay": oracle_sim_replay,
     "bitblast": oracle_bitblast,
@@ -474,6 +528,7 @@ ORACLES: dict[str, Callable[[FuzzCase], Divergence | None]] = {
     "rtl": oracle_rtl,
     "equiv": oracle_equiv,
     "cache": oracle_cache,
+    "partition": oracle_partition,
 }
 
 #: Run for every seed unless ``--oracles`` narrows the set. ``backend``

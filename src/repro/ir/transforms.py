@@ -434,22 +434,33 @@ def balance_reduction_trees(graph: CDFG) -> tuple[CDFG, dict[int, int]]:
     out = CDFG(graph.name)
     mapping: dict[int, int] = {}
 
-    def collect_leaves(nid: int, kind: OpKind, width: int,
-                       root: int) -> list[int] | None:
+    def chain_sources(nid: int, kind: OpKind, width: int,
+                      root: int) -> list[int] | None:
+        """Operand sources if ``nid`` continues the chain, else None."""
         node = graph.node(nid)
         if (node.kind is not kind or node.width != width
                 or (nid != root and len(graph.uses(nid)) != 1)
-                or node.attrs.get("recurrence")):
+                or node.attrs.get("recurrence")
+                or any(op.distance != 0 for op in node.operands)):
+            return None
+        return [op.source for op in node.operands]
+
+    def collect_leaves(nid: int, kind: OpKind, width: int,
+                      root: int) -> list[int] | None:
+        # Iterative left-to-right DFS: a linear fold over a paper-sized
+        # array is a 1000+-deep chain, past the recursion limit.
+        sources = chain_sources(nid, kind, width, root)
+        if sources is None:
             return None
         leaves: list[int] = []
-        for op in node.operands:
-            if op.distance != 0:
-                return None
-            sub = collect_leaves(op.source, kind, width, root)
+        work = list(reversed(sources))
+        while work:
+            cur = work.pop()
+            sub = chain_sources(cur, kind, width, root)
             if sub is None:
-                leaves.append(op.source)
+                leaves.append(cur)
             else:
-                leaves.extend(sub)
+                work.extend(reversed(sub))
         return leaves
 
     consumed: set[int] = set()

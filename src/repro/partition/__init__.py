@@ -1,0 +1,42 @@
+"""Subgraph decomposition for paper-sized designs.
+
+The monolithic mapping-aware MILP explodes on graphs in the paper's
+387–2503-instruction range. This package scales it by decomposition:
+
+1. :mod:`~repro.partition.partitioner` cuts the CDFG into a chain of
+   subgraphs that respect recurrences (every SCC over *all* dependence
+   edges, loop-carried included, stays intact) and enumerated cut cones
+   (no cone the monolithic enumerator would grow is split across a
+   boundary);
+2. :mod:`~repro.partition.extract` materializes each subgraph as a
+   standalone, valid CDFG — crossing in-values become INPUT placeholders,
+   crossing out-values grow OUTPUT exposers so the MILP is forced to make
+   them roots (the composed cover then satisfies SCH004 globally);
+3. :mod:`~repro.partition.solve` fans the per-subgraph MILP solves out
+   over :func:`repro.runtime.run_parallel` with warm-started ascending-II
+   sweeps;
+4. :mod:`~repro.partition.stitch` composes the local schedules into one
+   global :class:`~repro.scheduling.schedule.Schedule` under registered
+   boundary handoff constraints and prices every crossing value;
+5. :class:`~repro.partition.scheduler.PartitionScheduler` drives the
+   feedback loop: re-cut (merge) the partition where the stitched cost
+   model reports the worst boundary pressure, re-solve only what changed,
+   keep the best verified result.
+
+See docs/partitioning.md for the algorithm and its boundary-constraint
+semantics.
+"""
+
+from .extract import SubgraphExtraction, extract_subgraph
+from .partitioner import partition_graph
+from .scheduler import PartitionScheduler
+from .stitch import StitchInfo, stitch_schedules
+
+__all__ = [
+    "PartitionScheduler",
+    "partition_graph",
+    "extract_subgraph",
+    "SubgraphExtraction",
+    "stitch_schedules",
+    "StitchInfo",
+]

@@ -1,0 +1,197 @@
+"""Feedback-guided partition scheduling: cut, solve, stitch, re-cut.
+
+:class:`PartitionScheduler` mirrors the monolithic schedulers' contract
+(construct with graph/device/config, call :meth:`schedule`, get back a
+verified :class:`~repro.scheduling.schedule.Schedule`) but solves by
+decomposition:
+
+1. partition the graph into a chain of cone/recurrence-respecting
+   subgraphs (:func:`~repro.partition.partitioner.partition_graph`);
+2. solve every subgraph MILP over the :func:`repro.runtime.run_parallel`
+   pool with a warm-started ascending-II sweep; pin stragglers to the
+   fleet-maximum II so the composition is a single modulo schedule;
+3. stitch under registered-boundary constraints and verify the global
+   result (:func:`~repro.partition.stitch.stitch_schedules`);
+4. feed the stitched boundary pricing back: merge the two chain
+   neighbours at the most expensive boundary, re-solve *only* what
+   changed (solves are memoized by subgraph content fingerprint) and
+   keep the best verified schedule seen.
+
+The loop runs ``config.partition_rounds`` times and degrades gracefully:
+with every merge it walks toward the monolithic solve, so on small
+graphs the result converges to the monolithic one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from ..core.config import SchedulerConfig
+from ..core.verify import verify_schedule
+from ..errors import SchedulingError
+from ..ir.graph import CDFG
+from ..ir.validate import validate
+from ..runtime.parallel import run_parallel
+from ..runtime.trace import Tracer
+from ..scheduling.schedule import Schedule
+from ..tech.device import XC7, Device
+from .extract import SubgraphExtraction, extract_subgraph
+from .partitioner import partition_graph
+from .solve import SubgraphSolveTask, solve_subgraph_task
+from .stitch import StitchInfo, stitch_schedules
+
+__all__ = ["PartitionScheduler"]
+
+
+class PartitionScheduler:
+    """Partition-solve-stitch-iterate driver for ``milp-map``/``milp-base``."""
+
+    def __init__(self, graph: CDFG, device: Device = XC7,
+                 config: SchedulerConfig | None = None,
+                 method: str = "milp-map",
+                 tracer: Tracer | None = None,
+                 jobs: int | None = 1,
+                 design: str | None = None) -> None:
+        if method not in ("milp-map", "milp-base"):
+            raise SchedulingError(
+                f"partition scheduling supports milp-map/milp-base, "
+                f"not {method!r}")
+        validate(graph)
+        self.graph = graph
+        self.device = device
+        self.config = config or SchedulerConfig()
+        self.method = method
+        self.tracer = tracer or Tracer()
+        self.jobs = jobs
+        self.design = design or graph.name
+        #: Solved-subgraph memo keyed by (content fingerprint, pinned II);
+        #: feedback rounds re-solve only the merged subgraph.
+        self._memo: dict[tuple[str, int | None], dict[str, Any]] = {}
+        #: Stitch bookkeeping of the *returned* schedule (tests/reports).
+        self.info: StitchInfo | None = None
+        self.rounds_run = 0
+        self.subgraph_counts: list[int] = []
+
+    # ------------------------------------------------------------------
+    def schedule(self) -> Schedule:
+        config = self.config
+        with self.tracer.span("partition-cut", method=self.method) as span:
+            chain = partition_graph(
+                self.graph, self.device, config,
+                respect_cones=self.method == "milp-map")
+            span.meta["subgraphs"] = len(chain)
+            span.meta["sizes"] = [len(owned) for owned in chain]
+        if not chain:
+            raise SchedulingError(
+                f"{self.graph.name} has no schedulable operations")
+
+        best: tuple[float, Schedule, StitchInfo] | None = None
+        for round_idx in range(config.partition_rounds + 1):
+            self.rounds_run = round_idx + 1
+            self.subgraph_counts.append(len(chain))
+            subs = [extract_subgraph(self.graph, owned, i)
+                    for i, owned in enumerate(chain)]
+            scheds = self._solve_all(subs, round_idx)
+            with self.tracer.span("stitch", round=round_idx) as span:
+                stitched, info = stitch_schedules(
+                    self.graph, subs, scheds, self.device, config,
+                    self.method)
+                span.meta["ii"] = stitched.ii
+                span.meta["offsets"] = list(info.offsets)
+                span.meta["boundary_bits"] = info.total_boundary_bits
+                span.meta["crossing_values"] = info.crossing_values
+                span.meta["repair_bumps"] = info.repair_bumps
+            verify_schedule(stitched, self.device)
+            cost = self._cost(stitched)
+            if best is None or cost < best[0] - 1e-9:
+                best = (cost, stitched, info)
+            if len(chain) <= 1 or round_idx == config.partition_rounds:
+                break
+            merged = self._merge_worst(chain, info)
+            if merged is None:
+                break
+            with self.tracer.span("feedback", round=round_idx) as span:
+                span.meta["merged_to"] = len(merged)
+                span.meta["cost"] = cost
+            chain = merged
+        assert best is not None
+        self.info = best[2]
+        return best[1]
+
+    # ------------------------------------------------------------------
+    def _solve_all(self, subs: list[SubgraphExtraction],
+                   round_idx: int) -> list[Schedule]:
+        """Sweep every subgraph, then pin laggards to the fleet-max II."""
+        from ..ir.serialize import graph_to_dict, schedule_from_dict
+
+        cfg = replace(self.config, partition=False)
+        serialized = {sub.fingerprint: graph_to_dict(sub.graph)
+                      for sub in subs}
+
+        def tasks_for(pending: list[SubgraphExtraction],
+                      pin_ii: int | None) -> list[SubgraphSolveTask]:
+            return [SubgraphSolveTask(
+                design=self.design, method=self.method, index=sub.index,
+                fingerprint=sub.fingerprint,
+                graph_data=serialized[sub.fingerprint],
+                device=self.device, config=cfg, pin_ii=pin_ii,
+            ) for sub in pending]
+
+        pending = [sub for sub in subs
+                   if (sub.fingerprint, None) not in self._memo]
+        with self.tracer.span("subgraph-solve", round=round_idx,
+                              phase="sweep") as span:
+            span.meta["subgraphs"] = len(subs)
+            span.meta["solved"] = len(pending)
+            sweep_tasks = tasks_for(pending, None)
+            results = run_parallel(sweep_tasks, solve_subgraph_task,
+                                   jobs=self.jobs)
+            for task, result in zip(sweep_tasks, results):
+                self._memo[(task.fingerprint, None)] = result
+
+        scheds = [schedule_from_dict(self._memo[(sub.fingerprint, None)],
+                                     check=False)
+                  for sub in subs]
+        fleet_ii = max(s.ii for s in scheds)
+
+        laggards = [sub for sub, sched in zip(subs, scheds)
+                    if sched.ii != fleet_ii
+                    and (sub.fingerprint, fleet_ii) not in self._memo]
+        if laggards or any(s.ii != fleet_ii for s in scheds):
+            with self.tracer.span("subgraph-solve", round=round_idx,
+                                  phase="pin", ii=fleet_ii) as span:
+                span.meta["solved"] = len(laggards)
+                pin_tasks = tasks_for(laggards, fleet_ii)
+                results = run_parallel(pin_tasks, solve_subgraph_task,
+                                       jobs=self.jobs)
+                for task, result in zip(pin_tasks, results):
+                    self._memo[(task.fingerprint, fleet_ii)] = result
+            scheds = [
+                sched if sched.ii == fleet_ii else schedule_from_dict(
+                    self._memo[(sub.fingerprint, fleet_ii)], check=False)
+                for sub, sched in zip(subs, scheds)
+            ]
+        return scheds
+
+    # ------------------------------------------------------------------
+    def _cost(self, schedule: Schedule) -> float:
+        """The stitched cost model: the Eq. 15 weighting of real QoR."""
+        from ..hw.cost import evaluate
+
+        report = evaluate(schedule, self.device, design=self.design)
+        return (self.config.alpha * report.luts
+                + self.config.beta * report.ffs)
+
+    def _merge_worst(self, chain: list[tuple[int, ...]],
+                     info: StitchInfo) -> list[tuple[int, ...]] | None:
+        """Merge the chain neighbours at the priciest boundary."""
+        worst = info.worst_pair()
+        if worst is None:
+            return None  # no crossings: merging cannot help
+        j = worst[0]
+        if j + 1 >= len(chain):  # pragma: no cover - defensive
+            return None
+        merged = list(chain)
+        merged[j:j + 2] = [tuple(sorted(merged[j] + merged[j + 1]))]
+        return merged

@@ -21,6 +21,7 @@ never as errors: a cache must not be able to break an experiment.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from typing import TYPE_CHECKING, Any
@@ -35,6 +36,8 @@ __all__ = ["FlowCache", "CACHE_FILE_SCHEMA", "flow_result_to_dict",
            "flow_result_from_dict"]
 
 CACHE_FILE_SCHEMA = f"repro-flow-cache/v{CACHE_SCHEMA_VERSION}"
+
+logger = logging.getLogger(__name__)
 
 
 def flow_result_to_dict(result: "FlowResult") -> dict[str, Any]:
@@ -99,9 +102,12 @@ class FlowCache:
             return None
         try:
             result = flow_result_from_dict(data["result"])
-        except Exception:
+        except Exception as exc:
             # A corrupt entry (truncated write, hand-edited file, version
-            # skew inside the payload) must degrade to a miss.
+            # skew inside the payload) must degrade to a miss — but not an
+            # invisible one, or payload bugs would never surface.
+            logger.debug("flow cache entry %s is corrupt, treating as a "
+                         "miss: %s", path, exc)
             self.misses += 1
             return None
         result.fingerprint = fingerprint
@@ -165,8 +171,12 @@ class FlowCache:
             return None
         try:
             report = EquivReport.from_dict(data["report"])
-        except Exception:
-            return None  # corrupt entries degrade to misses, like results
+        except Exception as exc:
+            # Corrupt entries degrade to misses, like results — logged so
+            # a systematically-broken payload is still diagnosable.
+            logger.debug("equiv cache entry %s is corrupt, treating as a "
+                         "miss: %s", self.equiv_path_for(fingerprint), exc)
+            return None
         if tuple(v.stage for v in report.stages) != tuple(stages):
             return None
         return report

@@ -30,7 +30,10 @@ __all__ = ["CACHE_SCHEMA_VERSION", "flow_fingerprint", "fingerprint_payload"]
 
 #: Bump whenever the cached FlowResult layout or the semantics of any
 #: hashed field changes; every existing cache entry then misses cleanly.
-CACHE_SCHEMA_VERSION = 1
+#: v2: SchedulerConfig grew the partition / partition_size /
+#: partition_rounds fields (they are hashed via fingerprint_fields, and
+#: partitioned schedules may carry composed covers older readers never saw).
+CACHE_SCHEMA_VERSION = 2
 
 
 def _device_fields(device: Device) -> dict[str, Any]:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Iterable, Sequence, TypeVar
 
 __all__ = ["run_parallel", "resolve_jobs", "task_seed"]
@@ -53,10 +53,15 @@ def run_parallel(tasks: Sequence[T], worker: Callable[[T], R],
                  progress: Callable[[T], None] | None = None) -> list[R]:
     """Map ``worker`` over ``tasks``; results keep task order.
 
-    With ``jobs <= 1`` the work runs serially in-process. With more, tasks
-    fan out over a process pool sized ``min(jobs, len(tasks))``; a worker
-    exception cancels the remaining futures and re-raises in the caller,
-    matching the serial failure behavior.
+    With ``jobs <= 1`` the work runs serially in-process and ``progress``
+    fires immediately before each task executes. With more, tasks fan out
+    over a process pool sized ``min(jobs, len(tasks))`` and ``progress``
+    fires as each task *completes* (completion order), so progress output
+    reflects work actually done rather than bursting at submission. The
+    first worker exception shuts the pool down with ``cancel_futures=True``
+    — queued tasks never start — and re-raises in the caller; among tasks
+    that already ran, the earliest by task order decides which exception
+    surfaces.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -69,11 +74,36 @@ def run_parallel(tasks: Sequence[T], worker: Callable[[T], R],
         return results
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        futures = []
-        for task in tasks:
-            if progress:
-                progress(task)
-            futures.append(pool.submit(worker, task))
-        # Collect in submission order: the first failing task (by task
-        # order, not completion order) decides which exception surfaces.
-        return [f.result() for f in futures]
+        futures = {pool.submit(worker, task): index
+                   for index, task in enumerate(tasks)}
+        results: list[R | None] = [None] * len(tasks)
+        errors: dict[int, BaseException] = {}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                if future.cancelled():
+                    continue
+                exc = future.exception()
+                if exc is None:
+                    results[index] = future.result()
+                    if progress:
+                        progress(tasks[index])
+                    continue
+                if not errors:
+                    # Drop every queued task: a failing solve must not
+                    # wait on unrelated work that has not started yet.
+                    # Tasks already executing still drain through this
+                    # loop.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                errors[index] = exc
+            if errors:
+                # shutdown(cancel_futures=True) discards queued work
+                # items without ever resolving their futures, so wait()
+                # would block on them forever — drop them by hand. What
+                # remains is genuinely running and will complete.
+                pending = {f for f in pending if not f.cancelled()}
+        if errors:
+            raise errors[min(errors)]
+        return results  # type: ignore[return-value]

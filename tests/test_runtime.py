@@ -6,6 +6,7 @@ breadth, and partial-table formatting."""
 from __future__ import annotations
 
 import json
+import time
 
 import pytest
 
@@ -223,6 +224,69 @@ def test_run_parallel_propagates_worker_exception():
         run_parallel([1, 2, 3, 4], _fail_on_three, jobs=2)
 
 
+def _mark_then_run(task):
+    index, marker_dir, fail, sleep_s = task
+    import pathlib
+
+    pathlib.Path(marker_dir, f"ran-{index}").touch()
+    if fail:
+        raise ValueError(f"task {index} is broken")
+    time.sleep(sleep_s)
+    return index
+
+
+def test_run_parallel_cancels_queued_tasks_on_failure(tmp_path):
+    """A failing task must not wait on unrelated queued work: the pool
+    shuts down with cancel_futures on first failure, so queued tasks
+    never start and the exception surfaces promptly."""
+    tasks = [(0, str(tmp_path), True, 0.0)] + [
+        (i, str(tmp_path), False, 1.5) for i in range(1, 13)]
+    t0 = time.perf_counter()
+    with pytest.raises(ValueError, match="task 0"):
+        run_parallel(tasks, _mark_then_run, jobs=2)
+    elapsed = time.perf_counter() - t0
+    ran = {p.name for p in tmp_path.iterdir()}
+    assert "ran-0" in ran
+    # The queue held 12 slow tasks when task 0 failed. Tasks already
+    # handed to the pool's internal call queue (max_workers + 1 items)
+    # cannot be cancelled, so besides the failing task up to two
+    # in-flight slots plus that prefetch buffer may still run — but the
+    # rest of the queue must never start.
+    assert len(ran) <= 7, f"queued tasks ran after failure: {sorted(ran)}"
+    # Draining all 12 queued sleeps across 2 workers would cost >= 9s.
+    assert elapsed < 7.0, f"failure waited on queued tasks ({elapsed:.1f}s)"
+
+
+def _sleep_then_return(task):
+    time.sleep(task[1])
+    return task[0]
+
+
+def test_run_parallel_pool_progress_fires_on_completion():
+    """The pool path reports progress as tasks *finish* (completion
+    order), while results stay in task order."""
+    tasks = [("slow", 1.0), ("fast", 0.0)]
+    seen: list[str] = []
+    out = run_parallel(tasks, _sleep_then_return, jobs=2,
+                       progress=lambda t: seen.append(t[0]))
+    assert out == ["slow", "fast"]
+    assert seen == ["fast", "slow"]
+
+
+def test_run_parallel_serial_progress_fires_before_each_task():
+    events: list[tuple[str, int]] = []
+
+    def worker(n: int) -> int:
+        events.append(("run", n))
+        return n
+
+    out = run_parallel([1, 2], worker, jobs=1,
+                       progress=lambda n: events.append(("progress", n)))
+    assert out == [1, 2]
+    assert events == [("progress", 1), ("run", 1),
+                      ("progress", 2), ("run", 2)]
+
+
 def test_resolve_jobs_env_default(monkeypatch):
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     assert resolve_jobs(None) == 1
@@ -395,11 +459,13 @@ def test_flow_falls_back_to_original_graph(monkeypatch, exc):
     real_dispatch = flows_mod._dispatch
     calls = []
 
-    def flaky_dispatch(graph, method, device, config, design, tracer):
+    def flaky_dispatch(graph, method, device, config, design, tracer,
+                       jobs=1):
         calls.append(graph.name)
         if len(calls) == 1:
             raise exc
-        return real_dispatch(graph, method, device, config, design, tracer)
+        return real_dispatch(graph, method, device, config, design, tracer,
+                             jobs)
 
     monkeypatch.setattr(flows_mod, "_dispatch", flaky_dispatch)
     flow = run_flow(build_fig1(), "milp-map", XC7, FAST, lint=False,
