@@ -20,6 +20,12 @@ Usage::
                          [--jobs N] [--corpus-dir DIR] [--format json]
     python -m repro bench [DESIGN ...] [--quick] [--output FILE]
                           [--baseline FILE] [--max-ratio X] [--jobs N]
+    python -m repro serve [--host H] [--port P] [--workers N]
+                          [--queue-limit N] [--quota N] [--time-budget S]
+                          [--cache-dir DIR] [--jobs N]
+    python -m repro submit [DESIGN] [--graph FILE] [--method M]
+                           [--host H] [--port P] [--no-watch]
+                           [--load N [--output FILE]]
 
 ``--jobs N`` fans (design, method) tasks over a process pool with an
 ordered merge — the output is byte-identical to the serial run.
@@ -52,6 +58,14 @@ coverage-directed random CDFGs cross-checked by pluggable oracles, with
 divergences shrunk to minimal repros. It exits 1 when any oracle
 diverges; ``--corpus-dir`` additionally writes the shrunk repros as
 corpus entries the test suite replays.
+
+``serve`` runs the scheduling-as-a-service job server (see
+``docs/service.md``): an HTTP/JSON endpoint that dedupes submissions by
+content fingerprint, fans them over sharded workers with per-client
+quotas and bounded-queue backpressure, and streams per-phase progress.
+``submit`` is its client: submit one design (or a serialized CDFG file)
+and watch the live event stream, or drive the fuzz-sourced load
+generator with ``--load N``.
 """
 
 from __future__ import annotations
@@ -251,6 +265,59 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(default 3.0x)")
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="stdout format (default text)")
+
+    p = sub.add_parser("serve", parents=[runtime],
+                       help="run the scheduling-as-a-service job server "
+                            "(see docs/service.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port (default 8321; 0 picks a free port)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="worker shard threads (default 2)")
+    p.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                   help="max queued jobs before 429 (default 32)")
+    p.add_argument("--quota", type=int, default=8, metavar="N",
+                   help="max active jobs per client before 429 (default 8)")
+    p.add_argument("--time-budget", type=float, default=None, metavar="S",
+                   help="default per-job time budget in seconds "
+                        "(jobs may set their own; default: none)")
+    p.add_argument("--max-retries", type=int, default=1, metavar="N",
+                   help="re-queue attempts after a worker crash (default 1)")
+
+    p = sub.add_parser("submit",
+                       parents=[sched, device_parent("xc7")],
+                       help="submit a job to a running `repro serve` "
+                            "endpoint and watch it")
+    p.add_argument("design", nargs="?", default=None,
+                   help="benchmark or full-size design name "
+                        "(see `repro list`)")
+    p.add_argument("--graph", default=None, metavar="FILE",
+                   help="submit this serialized CDFG JSON file instead "
+                        "of a registered design")
+    p.add_argument("--method",
+                   choices=["hls-tool", "milp-base", "milp-map", "heur-map"],
+                   default="milp-map",
+                   help="flow to run (default milp-map)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="server address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="server port (default 8321)")
+    p.add_argument("--client", default="cli", metavar="NAME",
+                   help="client name for per-client quotas (default cli)")
+    p.add_argument("--time-budget", type=float, default=None, metavar="S",
+                   help="fail the job after S seconds of service time")
+    p.add_argument("--no-watch", action="store_true",
+                   help="print the job id and exit instead of streaming "
+                        "events until completion")
+    p.add_argument("--load", type=int, default=None, metavar="N",
+                   help="load-generator mode: submit N fuzz-seeded jobs "
+                        "and report throughput/latency")
+    p.add_argument("--duration", type=float, default=None, metavar="S",
+                   help="with --load: keep cycling the seeds for S "
+                        "seconds (the CI smoke shape)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="with --load: write the JSON load report here")
 
     p = sub.add_parser("equiv",
                        parents=[sched, device_parent("xc7"), runtime],
@@ -640,6 +707,118 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import SchedulingService, ServiceServer
+
+    service = SchedulingService(workers=args.workers,
+                                queue_limit=args.queue_limit,
+                                quota=args.quota,
+                                cache=args.cache_dir,
+                                flow_jobs=args.jobs,
+                                max_retries=args.max_retries,
+                                default_time_budget=args.time_budget)
+    service.start()
+    server = ServiceServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro serve: listening on "
+              f"http://{server.host}:{server.port} "
+              f"({service.workers} worker shard(s), queue limit "
+              f"{service.queue_limit}, quota {service.quota}/client"
+              + (f", cache {args.cache_dir}" if args.cache_dir else "")
+              + ")", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        service.shutdown()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceClient, job_payload
+    from .service.loadgen import format_load, run_load
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        client.health()
+    except OSError as exc:
+        print(f"repro submit: no server at {args.host}:{args.port} "
+              f"({exc}); start one with `repro serve`", file=sys.stderr)
+        return 2
+
+    if args.load is not None:
+        report = run_load(client, seeds=range(args.load),
+                          method=args.method, duration=args.duration,
+                          progress=None if args.no_watch else
+                          _progress("job"))
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"repro submit: wrote {args.output}", file=sys.stderr)
+        print(format_load(report))
+        return 1 if report.failed else 0
+
+    if (args.design is None) == (args.graph is None):
+        print("repro submit: supply exactly one of DESIGN or --graph FILE",
+              file=sys.stderr)
+        return 2
+    graph = None
+    if args.graph is not None:
+        try:
+            with open(args.graph, encoding="utf-8") as fh:
+                graph = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"repro submit: failed to load {args.graph!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    payload = job_payload(design=args.design, graph=graph,
+                          method=args.method, device=args.device,
+                          config=dataclasses.asdict(_config(args)),
+                          client=args.client, time_budget=args.time_budget)
+    status, doc = client.submit(payload)
+    if status not in (200, 202):
+        print(f"repro submit: rejected ({status}): "
+              f"{doc.get('message', doc)}", file=sys.stderr)
+        return 1
+    joined = " (joined in-flight job)" if doc.get("deduped") else ""
+    print(f"submitted {doc['id']} "
+          f"fingerprint {doc['fingerprint'][:12]}...{joined}",
+          file=sys.stderr)
+    if args.no_watch:
+        print(doc["id"])
+        return 0
+    for event in client.events(doc["id"]):
+        kind = event.get("event")
+        if kind == "phase":
+            suffix = (f" ({event['seconds'] * 1000:.1f} ms)"
+                      if "seconds" in event else "")
+            print(f"  {event['phase']} {event['status']}{suffix}",
+                  file=sys.stderr)
+        elif kind == "state":
+            print(f"  -> {event['state']}", file=sys.stderr)
+    final = client.wait(doc["id"])
+    if final["state"] != "done":
+        error = final.get("error") or {}
+        print(f"repro submit: job {final['state']}: "
+              f"{error.get('type', '')} {error.get('message', '')}",
+              file=sys.stderr)
+        return 1
+    report = final["result"]["report"]
+    print(f"done {doc['id']}: cp {report['cp']:.2f} ns  "
+          f"luts {report['luts']}  ffs {report['ffs']}  "
+          f"latency {report['latency']}  ii {report['ii']}"
+          + ("  [cache hit]" if final["result"].get("cached") else ""))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -665,6 +844,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         return _cmd_bench(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "submit":
+        return _cmd_submit(args)
 
     if args.command == "table1":
         from .experiments import format_table1, run_table1

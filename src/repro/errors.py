@@ -110,3 +110,39 @@ class RTLError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured or run incorrectly."""
+
+
+class FlowCancelled(ReproError):
+    """A flow observed its cancellation signal at a phase checkpoint.
+
+    Raised by :func:`repro.experiments.run_flow` when the caller-supplied
+    ``cancel`` predicate turns true between phases. Deliberately *not* a
+    subclass of :class:`SolverError`/:class:`SchedulingError`/
+    :class:`AnalysisError`, so the narrowed-graph fallback never swallows
+    a cancellation into a retry on the original graph.
+
+    Attributes
+    ----------
+    phase:
+        The phase the flow was about to enter when it stopped.
+    """
+
+    def __init__(self, message: str, phase: str | None = None) -> None:
+        super().__init__(message)
+        self.phase = phase
+
+
+class ServiceError(ReproError):
+    """Base class for job-server errors (:mod:`repro.service`)."""
+
+
+class ProtocolError(ServiceError):
+    """A service request payload is malformed (HTTP 400)."""
+
+
+class QuotaExceeded(ServiceError):
+    """A client exceeded its per-client active-job quota (HTTP 429)."""
+
+
+class ServiceBusy(ServiceError):
+    """The bounded job queue is full; submission rejected (HTTP 429)."""

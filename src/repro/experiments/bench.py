@@ -21,6 +21,13 @@ matrix, and on GFMUL with a deliberately small subgraph size in
 ``--quick`` so CI exercises cut/solve/stitch/feedback without paying
 for a paper-sized design.
 
+A fifth kind, ``service`` (single arm ``service``), drives an
+in-process scheduling-service instance (:mod:`repro.service`) with the
+fuzz-sourced load generator — a cold wave plus a cache-hit wave — and
+records throughput (``jobs_per_sec``), latency percentiles and the
+deterministic ``cache_hit_rate``, so the job server's hot path is
+baseline-gated alongside the solvers.
+
 The summary reports geometric-mean speedups of cold over optimized —
 ``scipy_solve_speedup`` over the backend solve spans and
 ``bnb_wall_speedup`` over scheduler wall time — which is how the claims
@@ -85,6 +92,17 @@ PARTITION_DESIGNS = ("GFMUL64", "CORDIC48", "XORR512")
 #: multiple subgraphs via a small ``partition_size``.
 QUICK_PARTITION = ("GFMUL",)
 
+#: Fuzz seeds the ``service`` arm replays through an in-process
+#: :class:`~repro.service.SchedulingService` (sub-second profiles only —
+#: the seed-routed heavy profiles like ``multi-rec`` would dominate the
+#: arm's wall time with one MILP solve).
+SERVICE_SEEDS = (1, 2, 3, 5, 6, 7)
+
+#: Re-submitted after the cold wave drains: with the arm's flow cache
+#: these are deterministic cache hits, so ``cache_hit_rate`` is exactly
+#: ``len(warm) / (len(cold) + len(warm))`` on a healthy service.
+SERVICE_WARM_SEEDS = (1, 2, 3)
+
 #: Timing fields stripped from the canonical (byte-stable) JSON form.
 _TIMING_KEYS = frozenset({
     "wall_seconds", "solve_seconds", "presolve_seconds",
@@ -92,6 +110,7 @@ _TIMING_KEYS = frozenset({
     "scipy_solve_speedup", "bnb_wall_speedup", "micro_wall_speedup",
     "scipy_solve_reduction_pct", "bnb_wall_reduction_pct",
     "stage_seconds", "equiv_wall_seconds",
+    "jobs_per_sec", "latency_p50", "latency_p95", "service_jobs_per_sec",
 })
 
 
@@ -377,6 +396,64 @@ def _run_partition_task(task: _BenchTask) -> dict[str, Any]:
     return record
 
 
+def _run_service_task(task: _BenchTask) -> dict[str, Any]:
+    """Throughput/latency of the job server on a fuzz-sourced load.
+
+    Runs an in-process :class:`~repro.service.SchedulingService` (two
+    worker shards, fresh flow cache) through the same load generator the
+    service tests and CI smoke use: the :data:`SERVICE_SEEDS` cold wave
+    followed by the :data:`SERVICE_WARM_SEEDS` cache-hit wave. The
+    record's ``wall_seconds`` rides the standard baseline gate;
+    ``jobs_per_sec`` / ``latency_p50`` / ``latency_p95`` are reported as
+    timing fields, and ``cache_hit_rate`` is deterministic and canonical.
+    """
+    import tempfile
+
+    from ..service import InProcessClient, SchedulingService
+    from ..service.loadgen import run_load
+
+    record: dict[str, Any] = {
+        "kind": task.kind, "name": task.name, "method": task.method,
+        "backend": task.backend, "arm": task.arm,
+        "cold_jobs": len(SERVICE_SEEDS),
+        "warm_jobs": len(SERVICE_WARM_SEEDS),
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+        service = SchedulingService(workers=2, cache=tmp)
+        service.start()
+        try:
+            client = InProcessClient(service)
+            report = run_load(client, seeds=SERVICE_SEEDS,
+                              method=task.method,
+                              warm_seeds=SERVICE_WARM_SEEDS)
+        except ReproError as exc:
+            service.shutdown()
+            record.update(ok=False, error=type(exc).__name__,
+                          wall_seconds=0.0)
+            return record
+        service.shutdown()
+    data = report.to_dict()
+    submitted = data["submitted"]
+    record.update(
+        ok=data["failed"] == 0 and data["completed"] == submitted,
+        optimal=data["failed"] == 0,
+        submitted=submitted,
+        completed=data["completed"],
+        failed=data["failed"],
+        cached=data["cached"],
+        deduped=data["deduped"],
+        cache_hit_rate=(round(data["cached"] / submitted, 4)
+                        if submitted else 0.0),
+        wall_seconds=data["elapsed"],
+        jobs_per_sec=data["jobs_per_sec"],
+        latency_p50=data["latency_p50"],
+        latency_p95=data["latency_p95"],
+    )
+    if not record["ok"]:
+        record["error"] = "service:failed-jobs"
+    return record
+
+
 _WARMED = False
 
 
@@ -407,6 +484,8 @@ def _run_bench_task(task: _BenchTask) -> dict[str, Any]:
         return _run_equiv_task(task)
     if task.kind == "partition":
         return _run_partition_task(task)
+    if task.kind == "service":
+        return _run_service_task(task)
     return _run_design_task(task)
 
 
@@ -481,6 +560,11 @@ class BenchResult:
                                          if r.get("ok"))
             out["equiv_wall_seconds"] = round(
                 sum(r.get("wall_seconds", 0.0) for r in equiv_recs), 3)
+        service_recs = [r for r in self.records if r["kind"] == "service"]
+        if service_recs:
+            rec = service_recs[0]
+            out["service_jobs_per_sec"] = rec.get("jobs_per_sec")
+            out["service_cache_hit_rate"] = rec.get("cache_hit_rate")
         return out
 
     # -- serialization -------------------------------------------------
@@ -585,6 +669,10 @@ def run_bench(designs: list[str] | None = None, device: Device = XC7,
                            partition_size=12 if name in BENCHMARKS else 48)
         tasks.append(_BenchTask("partition", name, "milp-map", "scipy",
                                 "partition", device, part_cfg))
+    # The service arm (job server over a fuzz load; docs/service.md) is
+    # part of the standard matrix, like the microbenches.
+    tasks.append(_BenchTask("service", "fuzz-load", "milp-map", "service",
+                            "service", device, config))
 
     t0 = time.perf_counter()
     records = run_parallel(
@@ -666,6 +754,11 @@ def format_bench(result: BenchResult) -> str:
     if "equiv_wall_seconds" in summary:
         lines.append(f"equiv_wall_seconds: {summary['equiv_wall_seconds']:.2f}s"
                      f" ({len(summary.get('equiv_proved', []))} proved)")
+    if summary.get("service_jobs_per_sec") is not None:
+        lines.append(f"service_jobs_per_sec: "
+                     f"{summary['service_jobs_per_sec']:.2f} "
+                     f"(cache hit rate "
+                     f"{summary.get('service_cache_hit_rate', 0.0):.0%})")
     if summary.get("failed"):
         lines.append("failed: " + ", ".join(summary["failed"]))
     return "\n".join(lines)

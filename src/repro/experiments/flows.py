@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.config import SchedulerConfig
 from ..core.mapsched import BaseScheduler, MapScheduler
 from ..core.verify import verify_schedule
-from ..errors import ExperimentError
+from ..errors import ExperimentError, FlowCancelled
 from ..hls.tool import CommercialHLSProxy
 from ..hw.cost import HardwareReport, evaluate
 from ..ir.graph import CDFG
@@ -85,6 +86,12 @@ class FlowResult:
     equiv: "object | None" = None
 
 
+def _checkpoint(cancel: "Callable[[], bool] | None", phase: str) -> None:
+    """Cooperative cancellation point: raise before entering ``phase``."""
+    if cancel is not None and cancel():
+        raise FlowCancelled(f"flow cancelled before {phase}", phase=phase)
+
+
 def run_flow(graph: CDFG, method: str, device: Device = XC7,
              config: SchedulerConfig | None = None,
              design: str | None = None, lint: bool = True,
@@ -92,7 +99,10 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
              cache: FlowCache | None = None,
              tracer: Tracer | None = None,
              validate: "bool | tuple[str, ...] | list[str] | None" = None,
-             jobs: int | None = 1) -> FlowResult:
+             jobs: int | None = 1,
+             cancel: "Callable[[], bool] | None" = None,
+             on_phase: "Callable[[str, object], None] | None" = None,
+             ) -> FlowResult:
     """Run one Table 1 flow on ``graph`` and evaluate the hardware.
 
     Unless ``lint=False``, the design is first checked by the static
@@ -132,6 +142,17 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
     solve parallelism; being runtime-only it never enters fingerprints —
     the partition *parameters* (``partition``/``partition_size``/
     ``partition_rounds``) do, via ``SchedulerConfig.fingerprint_fields``.
+
+    ``cancel`` makes the flow cooperatively cancellable: the predicate is
+    checked at every phase boundary (before lint, narrow, dispatch,
+    verify, evaluate and cache-store) and, when true, the flow raises
+    :class:`~repro.errors.FlowCancelled` instead of entering the next
+    phase. A phase already running (e.g. a capped MILP solve) finishes
+    first — cancellation never tears down a solver mid-call, so worker
+    pools spawned by a phase are always joined before the exception
+    surfaces. ``on_phase`` receives live ``("start"|"end", Span)`` phase
+    transitions from every layer that records spans through this flow's
+    tracer (both are runtime-only and never enter fingerprints).
     """
     config = config or SchedulerConfig()
     if method not in ALL_METHODS:
@@ -139,6 +160,9 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
             f"unknown method {method!r}; expected one of {ALL_METHODS}"
         )
     tracer = tracer or Tracer()
+    if on_phase is not None:
+        tracer.listener = on_phase
+    _checkpoint(cancel, "cache-load")
     fingerprint = None
     if cache is not None:
         fingerprint = flow_fingerprint(graph, method, device, config)
@@ -156,6 +180,7 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
     if lint:
         from ..analysis import lint_graph
 
+        _checkpoint(cancel, "lint")
         with tracer.span("lint"):
             lint_graph(graph, device=device).raise_if("error")
     if narrow is None:
@@ -165,13 +190,14 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
         from ..errors import AnalysisError, SchedulingError, SolverError
         from ..ir.transforms import narrow_graph
 
+        _checkpoint(cancel, "narrow")
         with tracer.span("narrow") as span:
             narrowed, _ = narrow_graph(graph)
             span.meta["nodes"] = len(narrowed.node_ids)
         try:
             with tracer.context(graph="narrowed"):
                 result = _dispatch(narrowed, method, device, config,
-                                   design, tracer, jobs)
+                                   design, tracer, jobs, cancel)
             result.source_graph = "narrowed"
         except (SolverError, SchedulingError, AnalysisError) as exc:
             # Narrowing must never turn a schedulable kernel into a
@@ -188,11 +214,12 @@ def run_flow(graph: CDFG, method: str, device: Device = XC7,
     if result is None:
         with tracer.context(graph="original"):
             result = _dispatch(graph, method, device, config, design,
-                               tracer, jobs)
+                               tracer, jobs, cancel)
         result.source_graph = "original"
     result.trace = tracer
     result.fingerprint = fingerprint
     if cache is not None:
+        _checkpoint(cancel, "cache-store")
         with tracer.span("cache-store", fingerprint=fingerprint):
             cache.store(fingerprint, result, design=design or graph.name,
                         method=method)
@@ -228,7 +255,9 @@ def _attach_validation(result: FlowResult, graph: CDFG, validate,
 
 def _dispatch(graph: CDFG, method: str, device: Device,
               config: SchedulerConfig, design: str | None,
-              tracer: Tracer, jobs: int | None = 1) -> FlowResult:
+              tracer: Tracer, jobs: int | None = 1,
+              cancel: "Callable[[], bool] | None" = None) -> FlowResult:
+    _checkpoint(cancel, "schedule")
     if method == "hls-tool":
         with tracer.span("schedule", method=method):
             result = CommercialHLSProxy(graph, device, tcp=config.tcp)\
@@ -268,8 +297,10 @@ def _dispatch(graph: CDFG, method: str, device: Device,
                 .schedule(target_ii=config.ii)
     else:  # pragma: no cover - guarded above
         raise ExperimentError(f"unknown method {method!r}")
+    _checkpoint(cancel, "verify")
     with tracer.span("verify"):
         verify_schedule(schedule, device)
+    _checkpoint(cancel, "evaluate")
     with tracer.span("evaluate"):
         report = evaluate(schedule, device, design=design or graph.name)
     report.method = method

@@ -79,10 +79,23 @@ class Span:
 
 
 class Tracer:
-    """Collects spans for one flow (cheap enough to be always-on)."""
+    """Collects spans for one flow (cheap enough to be always-on).
 
-    def __init__(self) -> None:
+    ``listener`` — an optional callable ``(event, span)`` with ``event``
+    one of ``"start"`` / ``"end"`` — fires synchronously when any span
+    opens or closes. This is how the job server streams live per-phase
+    progress (:mod:`repro.service`) without the flows threading a
+    callback through every scheduler: everything that records a span
+    through this tracer is observable. Listener exceptions propagate
+    into the traced phase, so listeners must not raise (the service's
+    fault-injection stalls *wait* inside the listener deliberately).
+    Spans replayed via :meth:`absorb`/:meth:`from_dict` do not fire it —
+    they describe work done elsewhere, possibly long ago.
+    """
+
+    def __init__(self, listener: "Any | None" = None) -> None:
         self.spans: list[Span] = []
+        self.listener = listener
         self._epoch = time.perf_counter()
         self._context: dict[str, Any] = {}
 
@@ -98,11 +111,15 @@ class Tracer:
         t0 = time.perf_counter()
         entry = Span(name=name, start=t0 - self._epoch,
                      meta={**self._context, **meta})
+        if self.listener is not None:
+            self.listener("start", entry)
         try:
             yield entry
         finally:
             entry.seconds = time.perf_counter() - t0
             self.spans.append(entry)
+            if self.listener is not None:
+                self.listener("end", entry)
 
     @contextmanager
     def context(self, **meta: Any) -> Iterator[None]:

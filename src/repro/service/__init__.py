@@ -1,0 +1,55 @@
+"""Scheduling-as-a-service: an async job server over the flow pipeline.
+
+Layers, transport-free first:
+
+* :mod:`repro.service.protocol` — the ``repro-service/v1`` wire schema:
+  request validation and the canonical (byte-comparable) result form.
+* :mod:`repro.service.jobs` — :class:`SchedulingService`, the job
+  manager: content-fingerprint dedupe, sharded worker pool, per-client
+  quotas, bounded-queue backpressure, cooperative cancellation, time
+  budgets, crash retry. No sockets anywhere in this layer.
+* :mod:`repro.service.server` — the asyncio HTTP/JSON front end
+  (``repro serve``), including NDJSON event streaming.
+* :mod:`repro.service.client` — HTTP and in-process clients with one
+  shared API.
+* :mod:`repro.service.loadgen` — fuzz-sourced load generator
+  (``repro submit --load``) whose results are replayable byte-for-byte
+  against serial :func:`~repro.experiments.run_flow`.
+* :mod:`repro.service.faults` — deterministic fault injection
+  (:class:`FaultPlan`) for the tier-1 failure-path tests.
+"""
+
+from .client import InProcessClient, ServiceClient, job_payload
+from .faults import FaultPlan, WorkerCrashFault
+from .jobs import Job, SchedulingService
+from .loadgen import LOAD_SCHEMA, LoadReport, format_load, run_load
+from .protocol import (
+    JOB_STATES,
+    SERVICE_SCHEMA,
+    TERMINAL_STATES,
+    JobRequest,
+    canonical_result_json,
+    parse_request,
+)
+from .server import ServiceServer
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "LOAD_SCHEMA",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRequest",
+    "parse_request",
+    "canonical_result_json",
+    "Job",
+    "SchedulingService",
+    "ServiceServer",
+    "ServiceClient",
+    "InProcessClient",
+    "job_payload",
+    "LoadReport",
+    "run_load",
+    "format_load",
+    "FaultPlan",
+    "WorkerCrashFault",
+]

@@ -1,0 +1,93 @@
+"""Deterministic fault injection for the scheduling service.
+
+The service's hard paths — retry after a worker crash, cancellation of a
+running solve, backpressure under a full queue, recovery from a corrupt
+cache entry — are exactly the paths a load test exercises only by
+accident. A :class:`FaultPlan` makes them *deterministic*: the test
+harness hands one to :class:`~repro.service.jobs.SchedulingService` and
+every hook fires at a precisely controlled point.
+
+All hooks are no-ops on the default plan, and the production CLI never
+installs one — this module is test infrastructure that ships with the
+server because the ISSUE's archetype demands the failure paths be tier-1
+tested, not nightly-only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["FaultPlan", "WorkerCrashFault"]
+
+
+class WorkerCrashFault(RuntimeError):
+    """Simulated infrastructure failure inside a worker.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: a crashed
+    worker is transient infrastructure trouble, not a property of the
+    job, so the service retries it (up to ``max_retries``) instead of
+    failing the job outright.
+    """
+
+
+@dataclass
+class FaultPlan:
+    """Switchboard of deterministic faults.
+
+    Attributes
+    ----------
+    hold_start:
+        When set, every worker blocks on this event *before* starting a
+        job. Tests use it to pin jobs in the queue deterministically
+        (fill the queue -> assert 429 -> release).
+    stall_phases:
+        Map of phase name -> event; when a flow enters that phase, the
+        worker blocks until the event is set. This is how a test holds a
+        job "mid-solve" long enough to cancel it, with zero sleeps.
+    crash_seqs:
+        Submission sequence numbers whose *first* attempt raises
+        :class:`WorkerCrashFault` before any flow work happens. The
+        retry path re-queues the job; the second attempt runs clean.
+    slow_phase_seconds:
+        Map of phase name -> seconds slept when the phase starts — the
+        "slow solve" fault for time-budget tests.
+    corrupt_stores:
+        When true, every flow-cache entry the service writes is
+        overwritten with garbage immediately after the store, so the
+        next same-fingerprint submission must re-solve (corrupt entries
+        degrade to misses by FlowCache contract).
+    """
+
+    hold_start: threading.Event | None = None
+    stall_phases: dict[str, threading.Event] = field(default_factory=dict)
+    crash_seqs: set[int] = field(default_factory=set)
+    slow_phase_seconds: dict[str, float] = field(default_factory=dict)
+    corrupt_stores: bool = False
+
+    # -- hooks (called by the worker shards) ---------------------------
+    def before_start(self) -> None:
+        if self.hold_start is not None:
+            self.hold_start.wait()
+
+    def before_attempt(self, seq: int, attempt: int) -> None:
+        if attempt == 1 and seq in self.crash_seqs:
+            raise WorkerCrashFault(f"injected worker crash (job seq {seq})")
+
+    def on_phase_start(self, phase: str) -> None:
+        gate = self.stall_phases.get(phase)
+        if gate is not None:
+            gate.wait()
+        delay = self.slow_phase_seconds.get(phase)
+        if delay:
+            time.sleep(delay)
+
+    def after_store(self, cache, fingerprint: str | None) -> None:
+        if self.corrupt_stores and cache is not None and fingerprint:
+            path = cache.path_for(fingerprint)
+            try:
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write("{ corrupted by FaultPlan")
+            except OSError:  # pragma: no cover - cache dir vanished
+                pass

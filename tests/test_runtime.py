@@ -101,6 +101,22 @@ def test_tracer_dict_roundtrip_marks_cached():
     assert "milp-build" in tracer.render_text()
 
 
+def test_tracer_listener_fires_on_start_and_end():
+    events: list[tuple[str, str, bool]] = []
+    tracer = Tracer(listener=lambda ev, s: events.append(
+        (ev, s.name, s.seconds > 0.0)))
+    with tracer.span("lint"):
+        pass
+    # Start fires before the body (duration still zero), end after.
+    assert events == [("start", "lint", False), ("end", "lint", True)]
+    # Absorbed (cached) spans describe work done elsewhere: no events.
+    other = Tracer()
+    with other.span("solve"):
+        pass
+    tracer.absorb(other.spans, cached=True)
+    assert len(events) == 2
+
+
 # ----------------------------------------------------------------------
 # Fingerprints
 # ----------------------------------------------------------------------
@@ -460,12 +476,12 @@ def test_flow_falls_back_to_original_graph(monkeypatch, exc):
     calls = []
 
     def flaky_dispatch(graph, method, device, config, design, tracer,
-                       jobs=1):
+                       jobs=1, cancel=None):
         calls.append(graph.name)
         if len(calls) == 1:
             raise exc
         return real_dispatch(graph, method, device, config, design, tracer,
-                             jobs)
+                             jobs, cancel)
 
     monkeypatch.setattr(flows_mod, "_dispatch", flaky_dispatch)
     flow = run_flow(build_fig1(), "milp-map", XC7, FAST, lint=False,
@@ -483,6 +499,118 @@ def test_flow_records_narrowed_source_graph():
     assert flow.source_graph == "narrowed"
     assert all(s.meta.get("graph") == "narrowed"
                for s in flow.trace.find("solve"))
+
+
+# ----------------------------------------------------------------------
+# Cooperative flow cancellation (rides the repro.service PR)
+# ----------------------------------------------------------------------
+def test_run_flow_cancel_before_start_raises_at_first_checkpoint():
+    from repro.errors import FlowCancelled
+
+    with pytest.raises(FlowCancelled) as info:
+        run_flow(build_fig1(), "milp-map", XC7, FAST, lint=False,
+                 cancel=lambda: True)
+    assert info.value.phase == "cache-load"
+
+
+def test_run_flow_cancel_mid_flow_stops_at_next_phase():
+    from repro.errors import FlowCancelled
+
+    cancelled = {"flag": False}
+
+    def on_phase(event: str, span) -> None:
+        # Trip the cancel flag while the solve phase is running; the
+        # flow must finish that phase and stop at the next checkpoint.
+        if event == "start" and span.name == "solve":
+            cancelled["flag"] = True
+
+    with pytest.raises(FlowCancelled) as info:
+        run_flow(build_fig1(), "milp-map", XC7, FAST, lint=False,
+                 narrow=False, cancel=lambda: cancelled["flag"],
+                 on_phase=on_phase)
+    assert info.value.phase == "verify"
+
+
+def test_run_flow_cancel_during_partition_leaves_no_pool_workers():
+    """Cancelling during a partitioned solve must never orphan the
+    per-subgraph process pool: the running phase completes (joining its
+    pool) before FlowCancelled surfaces at the next checkpoint."""
+    import multiprocessing
+    from dataclasses import replace as dc_replace
+
+    from repro.errors import FlowCancelled
+
+    cancelled = {"flag": False}
+
+    def on_phase(event: str, span) -> None:
+        if event == "start" and span.name == "partition-cut":
+            cancelled["flag"] = True
+
+    config = dc_replace(FAST, partition=True, partition_size=12,
+                        partition_rounds=1)
+    with pytest.raises(FlowCancelled) as info:
+        run_flow(BENCHMARKS["GFMUL"].build(), "milp-map", XC7, config,
+                 lint=False, narrow=False, jobs=2,
+                 cancel=lambda: cancelled["flag"], on_phase=on_phase)
+    # The partition scheduler ran to completion (pools joined), then the
+    # verify checkpoint observed the flag. FlowCancelled is not a
+    # SchedulingError, so no narrow-fallback retry can swallow it.
+    assert info.value.phase == "verify"
+    assert multiprocessing.active_children() == []
+
+
+# ----------------------------------------------------------------------
+# FlowCache atomicity under concurrent same-fingerprint writers
+# ----------------------------------------------------------------------
+def _hammer_store(task):
+    """Store one fingerprint repeatedly with a recognizable design tag."""
+    cache_dir, tag, rounds = task
+    from repro.runtime import FlowCache
+
+    cache = FlowCache(cache_dir)
+    flow = run_flow(build_fig1(), "heur-map", XC7, FAST, lint=False)
+    fp = flow_fingerprint(build_fig1(), "heur-map", XC7, FAST)
+    for _ in range(rounds):
+        cache.store(fp, flow, design=tag * 2000, method="heur-map")
+    return tag
+
+
+def test_flow_cache_concurrent_stores_never_tear(tmp_path):
+    """Two processes writing the same cache entry must never expose a
+    torn file: stores go through mkstemp + os.replace, so every read
+    sees exactly one writer's complete JSON (last writer wins)."""
+    import multiprocessing
+
+    cache_dir = str(tmp_path)
+    fp = flow_fingerprint(build_fig1(), "heur-map", XC7, FAST)
+    path = FlowCache(cache_dir).path_for(fp)
+
+    ctx = multiprocessing.get_context()
+    procs = [ctx.Process(target=_hammer_store,
+                         args=((cache_dir, tag, 40),))
+             for tag in ("A", "B")]
+    for p in procs:
+        p.start()
+    reads = 0
+    try:
+        import os
+
+        while any(p.is_alive() for p in procs):
+            if os.path.exists(path):
+                with open(path, encoding="utf-8") as handle:
+                    data = json.load(handle)  # a torn write would raise
+                assert data["fingerprint"] == fp
+                assert data["design"][0] in ("A", "B")
+                assert data["design"] == data["design"][0] * 2000
+                reads += 1
+    finally:
+        for p in procs:
+            p.join(timeout=60)
+    assert all(p.exitcode == 0 for p in procs)
+    assert reads > 0, "reader never observed the cache file"
+    # And the surviving entry is a loadable flow result.
+    survivor = FlowCache(cache_dir).load(fp)
+    assert survivor is not None
 
 
 # ----------------------------------------------------------------------
