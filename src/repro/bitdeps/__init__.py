@@ -8,12 +8,15 @@ enumerator uses these to decide K-feasibility at the word level.
 
 from .bitblast import BlastResult, bit_blast
 from .dep import DepEntry, dep_bits, word_dep_sources
+from .packed import PackedSupportCalculator, Rows
 from .support import GLOBAL_BIT, SupportCalculator, popcount
 
 __all__ = [
     "BlastResult",
     "DepEntry",
     "GLOBAL_BIT",
+    "PackedSupportCalculator",
+    "Rows",
     "SupportCalculator",
     "bit_blast",
     "dep_bits",

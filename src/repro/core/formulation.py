@@ -120,10 +120,14 @@ class MappingAwareFormulation:
         """``S_v`` as a linear expression (Eq. 6); constants/PIs are 0."""
         if nid not in self.sched_vars:
             return LinExpr({}, 0.0)
-        expr = LinExpr()
-        for t, var in enumerate(self.sched_vars[nid]):
-            expr = expr + t * var
-        return expr
+        # Direct dict construction: building this with repeated `expr + t *
+        # var` allocates O(horizon^2) intermediate dicts. Keeps the exact
+        # reference coefficients (including the 0.0 entry at t = 0).
+        return LinExpr(
+            {var.index: float(t)
+             for t, var in enumerate(self.sched_vars[nid])},
+            0.0,
+        )
 
     def l_var(self, nid: int) -> LinExpr:
         """``L_v`` as an expression; constants/PIs are 0."""
@@ -136,10 +140,8 @@ class MappingAwareFormulation:
             return LinExpr({}, 0.0)
         if self._is_input(nid) or self._forced_root(nid):
             return LinExpr({}, 1.0)
-        expr = LinExpr()
-        for _, var in self.cut_vars.get(nid, ()):
-            expr = expr + var
-        return expr
+        return LinExpr(
+            {var.index: 1.0 for _, var in self.cut_vars.get(nid, ())}, 0.0)
 
     def delay_expr(self, nid: int) -> LinExpr:
         """``D_v = sum_i d_{v,i} c_{v,i}`` (DESIGN.md note 3)."""
@@ -150,31 +152,32 @@ class MappingAwareFormulation:
                     return LinExpr({}, 0.0)
                 return LinExpr({}, self.delay_model.operator_delay(node))
             return LinExpr({}, 0.0)  # PI / const
-        expr = LinExpr()
-        for cut, var in self.cut_vars[nid]:
-            expr = expr + self.delay_model.cut_delay(node, cut) * var
-        return expr
+        return LinExpr(
+            {var.index: 1.0 * self.delay_model.cut_delay(node, cut)
+             for cut, var in self.cut_vars[nid]},
+            0.0,
+        )
 
     def def_expr(self, nid: int, t: int) -> LinExpr:
         """``def_{v,t}`` (Eq. 10): available on or before cycle t."""
         if nid not in self.sched_vars:
             # PIs are available from cycle 0; constants never need registers.
             return LinExpr({}, 1.0 if self._is_input(nid) else 0.0)
-        expr = LinExpr()
-        for z, var in enumerate(self.sched_vars[nid]):
-            if z <= t:
-                expr = expr + var
-        return expr
+        return LinExpr(
+            {var.index: 1.0
+             for z, var in enumerate(self.sched_vars[nid]) if z <= t},
+            0.0,
+        )
 
     def kill_expr(self, nid: int, t: int, shift: int) -> LinExpr:
         """``kill_{v,t}`` shifted by ``II*distance`` cycles (Eq. 11 + note 5)."""
         if nid not in self.sched_vars:
             return LinExpr({}, 1.0)
-        expr = LinExpr()
-        for z, var in enumerate(self.sched_vars[nid]):
-            if z + shift <= t:
-                expr = expr + var
-        return expr
+        return LinExpr(
+            {var.index: 1.0
+             for z, var in enumerate(self.sched_vars[nid]) if z + shift <= t},
+            0.0,
+        )
 
     # ------------------------------------------------------------------
     # Build

@@ -62,8 +62,16 @@ class Cut:
 
     @property
     def max_support(self) -> int:
-        """Largest per-output-bit support size (decides K-feasibility)."""
-        return max((popcount(m) for m in self.masks), default=0)
+        """Largest per-output-bit support size (decides K-feasibility).
+
+        Computed once and cached: masks are immutable, and the pruning
+        passes sort on this repeatedly.
+        """
+        cached = self.__dict__.get("_max_support")
+        if cached is None:
+            cached = max((popcount(m) for m in self.masks), default=0)
+            object.__setattr__(self, "_max_support", cached)
+        return cached
 
     @property
     def is_trivial(self) -> bool:

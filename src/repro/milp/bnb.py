@@ -46,6 +46,7 @@ from typing import Mapping
 import numpy as np
 from scipy import optimize, sparse
 
+from ..vectorize import vectorize_enabled
 from .model import Model, Solution, SolveStatus
 
 __all__ = ["solve_branch_and_bound"]
@@ -96,6 +97,7 @@ def solve_branch_and_bound(model: Model, time_limit: float | None = None,
                            mip_rel_gap: float | None = None,
                            warm_start: Mapping[int, float] | None = None,
                            branch_hints: Mapping[int, float] | None = None,
+                           vectorize: bool | None = None,
                            ) -> Solution:
     """Solve ``model`` by branch and bound over LP relaxations.
 
@@ -103,7 +105,10 @@ def solve_branch_and_bound(model: Model, time_limit: float | None = None,
     index -> value); it is re-validated with :meth:`Model.check` and
     silently ignored when stale, so callers may pass best-effort hints.
     ``branch_hints`` biases the dive heuristic's rounding direction
-    (typically the schedule found at a previous II).
+    (typically the schedule found at a previous II). ``vectorize``
+    selects the numpy per-node branching kernels (identical picks and
+    pseudo-costs; see docs/performance.md) and defaults to
+    ``REPRO_VECTORIZE``.
     """
     if model.num_vars == 0:
         return Solution(status=SolveStatus.OPTIMAL,
@@ -114,6 +119,12 @@ def solve_branch_and_bound(model: Model, time_limit: float | None = None,
     base_lo = np.array([v.lo for v in model.variables], dtype=float)
     base_hi = np.array([v.hi for v in model.variables], dtype=float)
     hints = dict(branch_hints or {})
+    # The numpy branching kernels pay a fixed per-node overhead; below a
+    # handful of integer variables the scalar loops win. Both paths pick
+    # identical variables (tests/test_vectorize.py), so the threshold is a
+    # pure speed knob.
+    use_vec = vectorize_enabled(vectorize) and len(int_vars) >= 16
+    ivs = np.array(int_vars, dtype=np.intp) if use_vec else None
 
     # Bound lifting is sound when c.x is integral at every integer point:
     # the objective must not touch continuous variables and all integer
@@ -143,6 +154,17 @@ def solve_branch_and_bound(model: Model, time_limit: float | None = None,
         )
 
     def most_fractional(x: np.ndarray) -> int | None:
+        if use_vec:
+            # First-minimizer semantics match the scalar loop: np.argmin
+            # returns the first occurrence of the minimum, exactly what a
+            # strict `<` update over int_vars order produces.
+            xi = x[ivs]
+            frac = np.abs(xi - np.round(xi))
+            cand = frac > _EPS
+            if not cand.any():
+                return None
+            dist = np.where(cand, np.abs(frac - 0.5), np.inf)
+            return int(ivs[np.argmin(dist)])
         pick, best = None, 1.0
         for idx in int_vars:
             frac = abs(x[idx] - round(x[idx]))
@@ -214,10 +236,34 @@ def solve_branch_and_bound(model: Model, time_limit: float | None = None,
 
     # Pseudo-costs: per-variable running averages of the LP objective
     # degradation per unit of fractionality, learned as branches resolve.
+    # The vectorized path keeps the same state in four flat arrays.
     pc_dn: dict[int, tuple[float, int]] = {}
     pc_up: dict[int, tuple[float, int]] = {}
+    if use_vec:
+        nv = model.num_vars
+        pc_s_dn, pc_n_dn = np.zeros(nv), np.zeros(nv)
+        pc_s_up, pc_n_up = np.zeros(nv), np.zeros(nv)
 
     def pick_branch_var(x: np.ndarray) -> int | None:
+        if use_vec:
+            xi = x[ivs]
+            frac = np.abs(xi - np.round(xi))
+            cand = frac > _EPS
+            if not cand.any():
+                return None
+            learned = (pc_n_dn[ivs] > 0) & (pc_n_up[ivs] > 0)
+            unl = cand & ~learned
+            if unl.any():
+                dist = np.where(unl, np.abs(frac - 0.5), np.inf)
+                return int(ivs[np.argmin(dist)])
+            sel = np.flatnonzero(cand)
+            idxs = ivs[sel]
+            f = xi[sel] - np.floor(xi[sel])
+            score = (np.maximum(_EPS, (pc_s_dn[idxs] / pc_n_dn[idxs]) * f)
+                     * np.maximum(_EPS, (pc_s_up[idxs] / pc_n_up[idxs])
+                                  * (1.0 - f)))
+            # np.argmax = first maximizer, matching the strict `>` update.
+            return int(idxs[np.argmax(score)])
         unlearned, pick, best_score = None, None, -1.0
         best_frac = 1.0
         for idx in int_vars:
@@ -273,11 +319,19 @@ def solve_branch_and_bound(model: Model, time_limit: float | None = None,
                 continue
             degrade = max(0.0, float(res.fun) - float(bound))
             if branch == "down":
-                s, k = pc_dn.get(frac_var, (0.0, 0))
-                pc_dn[frac_var] = (s + degrade / max(f, _EPS), k + 1)
+                if use_vec:
+                    pc_s_dn[frac_var] += degrade / max(f, _EPS)
+                    pc_n_dn[frac_var] += 1.0
+                else:
+                    s, k = pc_dn.get(frac_var, (0.0, 0))
+                    pc_dn[frac_var] = (s + degrade / max(f, _EPS), k + 1)
             else:
-                s, k = pc_up.get(frac_var, (0.0, 0))
-                pc_up[frac_var] = (s + degrade / max(1.0 - f, _EPS), k + 1)
+                if use_vec:
+                    pc_s_up[frac_var] += degrade / max(1.0 - f, _EPS)
+                    pc_n_up[frac_var] += 1.0
+                else:
+                    s, k = pc_up.get(frac_var, (0.0, 0))
+                    pc_up[frac_var] = (s + degrade / max(1.0 - f, _EPS), k + 1)
             child_bound = lift(float(res.fun))
             if child_bound >= incumbent_obj - prune_eps():
                 continue

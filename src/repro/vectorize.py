@@ -1,0 +1,35 @@
+"""Vectorization escape hatch.
+
+The packed-bitmask and numpy presolve/BnB kernels (docs/performance.md,
+"Vectorized kernels") are byte-identical to the pure-Python reference
+implementations, so the switch exists only as a safety valve and for the
+differential parity suite: ``REPRO_VECTORIZE=0`` routes every hot path back
+through the dict/set reference code.
+
+Resolution order: an explicit ``vectorize=`` argument (e.g. from
+:class:`~repro.core.config.SchedulerConfig`) wins; otherwise the
+``REPRO_VECTORIZE`` environment variable decides, defaulting to *on*. The
+environment is consulted at call time, not import time, so tests can toggle
+it with ``monkeypatch.setenv``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["vectorize_enabled"]
+
+_FALSE = frozenset({"0", "false", "no", "off", ""})
+
+
+def vectorize_enabled(explicit: bool | None = None) -> bool:
+    """True iff the vectorized kernels should run.
+
+    ``explicit`` overrides the environment when not ``None``. The choice
+    never changes any schedule, cut cover, cost, fingerprint, or cache key —
+    both paths produce byte-identical results (enforced by
+    tests/test_vectorize.py).
+    """
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get("REPRO_VECTORIZE", "1").strip().lower() not in _FALSE
